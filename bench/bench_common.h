@@ -1,0 +1,83 @@
+// Shared helpers for the per-figure benchmark binaries: flag parsing and
+// banner printing. Every binary accepts:
+//   --threads=a,b,c     thread counts to sweep (default: env/auto)
+//   --duration=MS       per-data-point duration (default: env or 150 ms)
+//   --records=N         index preload size (default: env or 100000)
+//   --full              paper-scale parameters (slower)
+// Environment fallbacks: OPTIQL_BENCH_THREADS, OPTIQL_BENCH_DURATION_MS,
+// OPTIQL_BENCH_RECORDS.
+#ifndef OPTIQL_BENCH_BENCH_COMMON_H_
+#define OPTIQL_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/bench_runner.h"
+
+namespace optiql {
+
+struct BenchFlags {
+  std::vector<int> threads;
+  int duration_ms = 150;
+  uint64_t records = 100000;
+  bool full = false;
+
+  static BenchFlags Parse(int argc, char** argv) {
+    BenchFlags flags;
+    flags.threads = BenchThreadCounts();
+    flags.duration_ms = BenchDurationMs(150);
+    flags.records =
+        static_cast<uint64_t>(EnvInt("OPTIQL_BENCH_RECORDS", 100000));
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--threads=", 0) == 0) {
+        flags.threads.clear();
+        const char* spec = arg.c_str() + 10;
+        while (*spec != '\0') {
+          flags.threads.push_back(std::atoi(spec));
+          const char* comma = std::strchr(spec, ',');
+          if (comma == nullptr) break;
+          spec = comma + 1;
+        }
+      } else if (arg.rfind("--duration=", 0) == 0) {
+        flags.duration_ms = std::atoi(arg.c_str() + 11);
+      } else if (arg.rfind("--records=", 0) == 0) {
+        flags.records = std::strtoull(arg.c_str() + 10, nullptr, 10);
+      } else if (arg == "--full") {
+        flags.full = true;
+        flags.duration_ms = 1000;
+        flags.records = 10000000;
+      } else if (arg == "--help" || arg == "-h") {
+        std::printf(
+            "usage: %s [--threads=a,b,c] [--duration=ms] [--records=n] "
+            "[--full]\n",
+            argv[0]);
+        std::exit(0);
+      }
+    }
+    return flags;
+  }
+
+  int MaxThreads() const {
+    int max = 1;
+    for (int t : threads) max = std::max(max, t);
+    return max;
+  }
+};
+
+inline void PrintBanner(const char* experiment, const char* paper_ref,
+                        const BenchFlags& flags) {
+  std::printf("=== %s ===\n", experiment);
+  std::printf("Reproduces: %s\n", paper_ref);
+  std::printf("machine: %u hardware threads; duration/point: %d ms\n",
+              std::thread::hardware_concurrency(), flags.duration_ms);
+  std::printf("\n");
+}
+
+}  // namespace optiql
+
+#endif  // OPTIQL_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,81 @@
+// Extension of §7.3's remark: "We also tested workloads that involve
+// inserts and deletes, and observed the same performance characteristics
+// for OptiQL." This bench runs insert-heavy and insert/delete-churn mixes
+// over both indexes (SMOs, node growth and retirement included) so the
+// claim can be checked on this substrate.
+#include "index_bench_common.h"
+
+namespace optiql {
+namespace {
+
+struct ChurnMix {
+  const char* name;
+  int lookup_pct;
+  int insert_pct;
+  int remove_pct;
+};
+
+constexpr ChurnMix kMixes[] = {
+    {"Insert-heavy (50/50 lookup/insert)", 50, 50, 0},
+    {"Churn (50 lookup / 25 insert / 25 remove)", 50, 25, 25},
+};
+
+template <class Tree>
+void RunRow(const BenchFlags& flags, const char* name, const ChurnMix& mix,
+            TablePrinter& table) {
+  std::vector<std::string> row = {name};
+  for (int threads : flags.threads) {
+    // Fresh tree per cell: insert-heavy cells grow the tree, which would
+    // otherwise skew later cells.
+    auto tree = std::make_unique<Tree>();
+    IndexWorkload workload;
+    workload.records = flags.records;
+    workload.lookup_pct = mix.lookup_pct;
+    workload.insert_pct = mix.insert_pct;
+    workload.remove_pct = mix.remove_pct;
+    workload.update_pct = 0;
+    workload.distribution = IndexWorkload::Distribution::kSelfSimilar;
+    workload.skew = 0.2;
+    workload.threads = threads;
+    workload.duration_ms = flags.duration_ms;
+    PreloadIndex(*tree, workload);
+    row.push_back(TablePrinter::Fmt(RunIndexBench(*tree, workload).MopsPerSec()));
+  }
+  table.AddRow(std::move(row));
+}
+
+void RunMix(const BenchFlags& flags, const ChurnMix& mix) {
+  std::printf("-- B+-tree, %s --\n", mix.name);
+  std::vector<std::string> header = {"lock \\ threads (Mops/s)"};
+  for (int t : flags.threads) header.push_back(std::to_string(t));
+  {
+    TablePrinter table(header);
+    RunRow<BTreeOptLock>(flags, "OptLock", mix, table);
+    RunRow<BTreeOptiQlNor>(flags, "OptiQL-NOR", mix, table);
+    RunRow<BTreeOptiQl>(flags, "OptiQL", mix, table);
+    table.Print();
+  }
+  std::printf("\n-- ART, %s --\n", mix.name);
+  {
+    TablePrinter table(header);
+    RunRow<ArtOptLock>(flags, "OptLock", mix, table);
+    RunRow<ArtOptiQlNor>(flags, "OptiQL-NOR", mix, table);
+    RunRow<ArtOptiQl>(flags, "OptiQL", mix, table);
+    table.Print();
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace optiql
+
+int main(int argc, char** argv) {
+  using namespace optiql;
+  const BenchFlags flags = BenchFlags::Parse(argc, argv);
+  PrintBanner("Extension: insert/delete workloads",
+              "paper §7.3 ('same performance characteristics') — SMO-heavy "
+              "mixes",
+              flags);
+  for (const ChurnMix& mix : kMixes) RunMix(flags, mix);
+  return 0;
+}

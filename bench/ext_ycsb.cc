@@ -1,0 +1,124 @@
+// Extension: YCSB core workloads A–F on the B+-tree, OptLock vs OptiQL.
+// The paper evaluates PiBench-style fixed mixes; YCSB adds the
+// industry-standard mixes including scans (E) and read-modify-write (F),
+// with Zipfian and latest-biased request distributions.
+#include <vector>
+
+#include "bench_common.h"
+#include "harness/bench_runner.h"
+#include "harness/table_printer.h"
+#include "index_bench_common.h"
+#include "workload/distributions.h"
+
+namespace optiql {
+namespace {
+
+enum class YcsbOp { kRead, kUpdate, kInsert, kScan, kRmw };
+
+struct YcsbWorkload {
+  const char* name;
+  const char* description;
+  int read_pct;
+  int update_pct;
+  int insert_pct;
+  int scan_pct;
+  int rmw_pct;
+  bool latest = false;  // D: requests target recently inserted keys.
+};
+
+constexpr YcsbWorkload kWorkloads[] = {
+    {"A", "update heavy (50/50 read/update, zipf)", 50, 50, 0, 0, 0},
+    {"B", "read mostly (95/5 read/update, zipf)", 95, 5, 0, 0, 0},
+    {"C", "read only (zipf)", 100, 0, 0, 0, 0},
+    {"D", "read latest (95/5 read/insert)", 95, 0, 5, 0, 0, true},
+    {"E", "short ranges (95/5 scan/insert, zipf)", 0, 0, 5, 95, 0},
+    {"F", "read-modify-write (50/50 read/rmw, zipf)", 50, 0, 0, 0, 50},
+};
+
+template <class Tree>
+double RunYcsb(const BenchFlags& flags, const YcsbWorkload& workload,
+               int threads) {
+  auto tree = std::make_unique<Tree>();
+  for (uint64_t k = 0; k < flags.records; ++k) {
+    OPTIQL_CHECK(tree->Insert(k, k));
+  }
+  std::atomic<uint64_t> next_insert{flags.records};
+
+  RunOptions options;
+  options.threads = threads;
+  options.duration_ms = flags.duration_ms;
+  const ZipfianDistribution zipf(flags.records, 0.99);
+
+  const RunResult result = RunFixedDuration(
+      options,
+      [&](int tid, const std::atomic<bool>& stop, WorkerStats& stats) {
+        Xoshiro256 rng(0x9c5bULL * 271 + static_cast<uint64_t>(tid));
+        std::vector<std::pair<uint64_t, uint64_t>> scan_buffer;
+        while (!stop.load(std::memory_order_acquire)) {
+          uint64_t key;
+          if (workload.latest) {
+            // "Latest": zipf rank 0 = the newest inserted key.
+            const uint64_t limit =
+                next_insert.load(std::memory_order_relaxed);
+            const uint64_t back = zipf.Next(rng) % limit;
+            key = limit - 1 - back;
+          } else {
+            key = zipf.Next(rng);
+          }
+          const uint64_t roll = rng.NextBounded(100);
+          if (roll < static_cast<uint64_t>(workload.read_pct)) {
+            uint64_t out = 0;
+            tree->Lookup(key, out);
+          } else if (roll < static_cast<uint64_t>(workload.read_pct +
+                                                  workload.update_pct)) {
+            tree->Update(key, rng.Next());
+          } else if (roll <
+                     static_cast<uint64_t>(workload.read_pct +
+                                           workload.update_pct +
+                                           workload.insert_pct)) {
+            const uint64_t fresh =
+                next_insert.fetch_add(1, std::memory_order_relaxed);
+            tree->Insert(fresh, fresh);
+          } else if (roll < static_cast<uint64_t>(
+                                workload.read_pct + workload.update_pct +
+                                workload.insert_pct + workload.scan_pct)) {
+            tree->Scan(key, 1 + rng.NextBounded(100), scan_buffer);
+          } else {  // RMW
+            uint64_t out = 0;
+            if (tree->Lookup(key, out)) tree->Update(key, out + 1);
+          }
+          ++stats.ops;
+        }
+      });
+  return result.MopsPerSec();
+}
+
+}  // namespace
+}  // namespace optiql
+
+int main(int argc, char** argv) {
+  using namespace optiql;
+  const BenchFlags flags = BenchFlags::Parse(argc, argv);
+  PrintBanner("Extension: YCSB A-F on the B+-tree",
+              "industry-standard mixes (zipf 0.99), OptLock vs OptiQL",
+              flags);
+  for (const YcsbWorkload& workload : kWorkloads) {
+    std::printf("-- YCSB-%s: %s --\n", workload.name, workload.description);
+    std::vector<std::string> header = {"lock \\ threads (Mops/s)"};
+    for (int t : flags.threads) header.push_back(std::to_string(t));
+    TablePrinter table(std::move(header));
+    std::vector<std::string> row_optlock = {"OptLock"};
+    std::vector<std::string> row_optiql = {"OptiQL"};
+    for (int threads : flags.threads) {
+      row_optlock.push_back(TablePrinter::Fmt(
+          RunYcsb<BTreeOptLock>(flags, workload, threads)));
+      row_optiql.push_back(TablePrinter::Fmt(
+          RunYcsb<BTreeOptiQl>(flags, workload, threads)));
+    }
+    table.AddRow(std::move(row_optlock));
+    table.AddRow(std::move(row_optiql));
+    table.Print();
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Shared scaffolding for the index benchmark binaries (Figures 1, 9-13):
+// tree typedefs matching the paper's legend and a generic sweep runner.
+#ifndef OPTIQL_BENCH_INDEX_BENCH_COMMON_H_
+#define OPTIQL_BENCH_INDEX_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "harness/index_bench.h"
+#include "harness/table_printer.h"
+#include "index/art.h"
+#include "index/art_coupling.h"
+#include "index/btree.h"
+
+namespace optiql {
+
+// B+-tree variants (paper §7.1 lock list). 256-byte nodes per §7.1.
+using BTreeOptLock = BTree<uint64_t, uint64_t, BTreeOlcPolicy>;
+using BTreeOptiQl = BTree<uint64_t, uint64_t, BTreeOptiQlPolicy<OptiQL>>;
+using BTreeOptiQlNor =
+    BTree<uint64_t, uint64_t, BTreeOptiQlPolicy<OptiQLNor>>;
+using BTreeOptiQlAor =
+    BTree<uint64_t, uint64_t, BTreeOptiQlPolicy<OptiQL, /*kAor=*/true>>;
+using BTreePthread = BTree<uint64_t, uint64_t,
+                           BTreeCouplingPolicy<SharedMutexLock>>;
+using BTreeMcsRw = BTree<uint64_t, uint64_t, BTreeCouplingPolicy<McsRwLock>>;
+
+// ART variants (§6.2).
+using ArtOptLock = ArtTree<ArtOlcPolicy>;
+using ArtOptiQl = ArtTree<ArtOptiQlPolicy<OptiQL>>;
+using ArtOptiQlNor = ArtTree<ArtOptiQlPolicy<OptiQLNor>>;
+using ArtPthread = ArtCouplingTree<SharedMutexLock>;
+using ArtMcsRw = ArtCouplingTree<McsRwLock>;
+
+// Builds a tree, preloads it, then reports Mops/s for every (mix, threads)
+// combination through `emit(mix_index, threads_index, result)`.
+template <class Tree, class Emit>
+void SweepIndex(const BenchFlags& flags, const IndexWorkload& base,
+                const std::vector<OpMix>& mixes, const Emit& emit) {
+  auto tree = std::make_unique<Tree>();
+  IndexWorkload workload = base;
+  workload.duration_ms = flags.duration_ms;
+  PreloadIndex(*tree, workload);
+  for (size_t m = 0; m < mixes.size(); ++m) {
+    workload.lookup_pct = mixes[m].lookup_pct;
+    workload.update_pct = mixes[m].update_pct;
+    workload.insert_pct = 0;
+    workload.remove_pct = 0;
+    for (size_t t = 0; t < flags.threads.size(); ++t) {
+      workload.threads = flags.threads[t];
+      emit(m, t, RunIndexBench(*tree, workload));
+    }
+  }
+}
+
+}  // namespace optiql
+
+#endif  // OPTIQL_BENCH_INDEX_BENCH_COMMON_H_

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Regenerates every paper table/figure plus the extension benchmarks.
+#
+# Usage:
+#   scripts/run_experiments.sh [quick|default|full] [output-file]
+#
+#   quick   — smoke parameters (~1 minute)
+#   default — balanced parameters (a few minutes)
+#   full    — paper-scale durations and record counts (hours on small boxes)
+set -euo pipefail
+
+mode="${1:-default}"
+out="${2:-bench_output.txt}"
+build_dir="${BUILD_DIR:-build}"
+
+case "$mode" in
+  quick)
+    export OPTIQL_BENCH_DURATION_MS=50
+    export OPTIQL_BENCH_RECORDS=20000
+    ;;
+  default)
+    export OPTIQL_BENCH_DURATION_MS=150
+    export OPTIQL_BENCH_RECORDS=100000
+    ;;
+  full)
+    export OPTIQL_BENCH_DURATION_MS=1000
+    export OPTIQL_BENCH_RECORDS=10000000
+    ;;
+  *)
+    echo "unknown mode: $mode (expected quick|default|full)" >&2
+    exit 1
+    ;;
+esac
+
+if [ ! -d "$build_dir/bench" ]; then
+  echo "build first: cmake -B $build_dir -G Ninja && cmake --build $build_dir" >&2
+  exit 1
+fi
+
+{
+  echo "# optiql experiment run: mode=$mode $(date -u +%Y-%m-%dT%H:%M:%SZ)"
+  echo "# host: $(uname -srm), $(nproc) hardware threads"
+  for bench in "$build_dir"/bench/*; do
+    [ -x "$bench" ] && [ -f "$bench" ] || continue
+    echo
+    echo "===== RUN: $(basename "$bench") ====="
+    "$bench"
+  done
+} | tee "$out"

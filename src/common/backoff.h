@@ -1,0 +1,50 @@
+// Truncated exponential backoff with jitter, used optionally by the
+// centralized locks (TTS, OptLock). The paper (§1.1, §2.2) notes that
+// backoff eases contention on centralized locks at the cost of fairness;
+// the ablation benchmark quantifies exactly that tradeoff.
+#ifndef OPTIQL_COMMON_BACKOFF_H_
+#define OPTIQL_COMMON_BACKOFF_H_
+
+#include <cstdint>
+
+#include "common/platform.h"
+#include "common/random.h"
+
+namespace optiql {
+
+class ExponentialBackoff {
+ public:
+  static constexpr uint32_t kMinSpins = 4;
+  static constexpr uint32_t kMaxSpins = 4096;
+
+  // Spins for a random duration in [0, limit), then doubles the limit.
+  void Pause() {
+    thread_local Xoshiro256 rng(0xb0ffDEADBEEFULL ^
+                                reinterpret_cast<uintptr_t>(&rng));
+    const uint32_t spins = static_cast<uint32_t>(rng.NextBounded(limit_));
+    for (uint32_t i = 0; i < spins; ++i) CpuPause();
+    // Donate the time slice occasionally so an oversubscribed machine makes
+    // progress even when the holder is descheduled.
+    if (limit_ == kMaxSpins) CpuYield();
+    limit_ = limit_ < kMaxSpins ? limit_ * 2 : kMaxSpins;
+  }
+
+  void Reset() { limit_ = kMinSpins; }
+
+ private:
+  uint32_t limit_ = kMinSpins;
+};
+
+// Drop-in no-backoff policy: a plain spin-then-yield wait.
+class NoBackoff {
+ public:
+  void Pause() { wait_.Spin(); }
+  void Reset() { wait_.Reset(); }
+
+ private:
+  SpinWait wait_;
+};
+
+}  // namespace optiql
+
+#endif  // OPTIQL_COMMON_BACKOFF_H_

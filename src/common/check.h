@@ -1,0 +1,21 @@
+// Minimal always-on invariant checking. The library does not use exceptions;
+// a violated invariant in lock or index internals is a program bug and
+// aborts with a location message.
+#ifndef OPTIQL_COMMON_CHECK_H_
+#define OPTIQL_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define OPTIQL_CHECK(cond)                                              \
+  do {                                                                  \
+    if (OPTIQL_UNLIKELY(!(cond))) {                                     \
+      std::fprintf(stderr, "OPTIQL_CHECK failed at %s:%d: %s\n",        \
+                   __FILE__, __LINE__, #cond);                          \
+      std::abort();                                                     \
+    }                                                                   \
+  } while (0)
+
+#include "common/platform.h"
+
+#endif  // OPTIQL_COMMON_CHECK_H_

@@ -1,0 +1,79 @@
+// Platform utilities shared across the OptiQL library: cacheline geometry,
+// CPU pause hints, and the spin-wait policy used by every lock in the repo.
+#ifndef OPTIQL_COMMON_PLATFORM_H_
+#define OPTIQL_COMMON_PLATFORM_H_
+
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#endif
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sched.h>
+#endif
+
+namespace optiql {
+
+// Cache line size assumed throughout; queue nodes and per-thread stats are
+// padded to this to avoid false sharing.
+inline constexpr std::size_t kCachelineSize = 64;
+
+#define OPTIQL_CACHELINE_ALIGNED alignas(::optiql::kCachelineSize)
+
+// A CPU relaxation hint for busy-wait loops (PAUSE on x86, YIELD on ARM).
+inline void CpuPause() {
+#if defined(__x86_64__) || defined(_M_X64)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  asm volatile("" ::: "memory");
+#endif
+}
+
+// Yields the CPU to the OS scheduler. Local spinning in queue-based locks is
+// normally cheap on a large multicore, but on an oversubscribed machine the
+// predecessor may not even be running; yielding keeps the algorithms live.
+inline void CpuYield() {
+#if defined(__unix__) || defined(__APPLE__)
+  sched_yield();
+#endif
+}
+
+// Spin-then-yield policy: issue cheap PAUSE hints for a bounded number of
+// iterations, then start donating the time slice. Every spin loop in the
+// library funnels through one of these objects so the oversubscription
+// behaviour is uniform and testable.
+class SpinWait {
+ public:
+  static constexpr uint32_t kSpinsBeforeYield = 128;
+
+  // Called once per failed spin-loop iteration.
+  void Spin() {
+    if (++count_ < kSpinsBeforeYield) {
+      CpuPause();
+    } else {
+      CpuYield();
+    }
+  }
+
+  void Reset() { count_ = 0; }
+
+  uint32_t count() const { return count_; }
+
+ private:
+  uint32_t count_ = 0;
+};
+
+#if defined(__GNUC__) || defined(__clang__)
+#define OPTIQL_LIKELY(x) (__builtin_expect(!!(x), 1))
+#define OPTIQL_UNLIKELY(x) (__builtin_expect(!!(x), 0))
+#else
+#define OPTIQL_LIKELY(x) (x)
+#define OPTIQL_UNLIKELY(x) (x)
+#endif
+
+}  // namespace optiql
+
+#endif  // OPTIQL_COMMON_PLATFORM_H_

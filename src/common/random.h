@@ -1,0 +1,70 @@
+// Fast, reproducible pseudo-random number generators used by the workload
+// generators and benchmark harness. Benchmark loops must not pay libstdc++
+// <random> dispatch costs, so we provide small inline generators with
+// well-known constants (splitmix64 for seeding, xoshiro256** for streams).
+#ifndef OPTIQL_COMMON_RANDOM_H_
+#define OPTIQL_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace optiql {
+
+// SplitMix64 (Steele, Lea, Vigna). Primarily used to expand a single seed
+// into the larger state of other generators; also a fine standalone PRNG.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// xoshiro256** 1.0 (Blackman, Vigna): the workhorse generator for benchmark
+// threads. One instance per thread; never shared.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.Next();
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1): fills the 53-bit mantissa from the top bits.
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform integer in [0, bound) using Lemire's multiply-shift reduction
+  // (biased by at most 2^-64; negligible for benchmarking purposes).
+  uint64_t NextBounded(uint64_t bound) {
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(Next()) * bound) >> 64);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace optiql
+
+#endif  // OPTIQL_COMMON_RANDOM_H_

@@ -1,0 +1,120 @@
+// Guarded<T, Lock>: a typed wrapper that binds a value to one of the
+// repository's optimistic locks and exposes a closure-based API, so
+// application code cannot forget the validation/retry discipline.
+//
+//   Guarded<Config> config;
+//   int port = config.WithRead([](const Config& c) { return c.port; });
+//   config.WithWrite([](Config& c) { c.port = 8080; });
+//
+// Read closures run optimistically and are retried on validation failure,
+// so they must be pure with respect to shared state: no side effects other
+// than reading the protected value into locals/return values, and they must
+// tolerate observing a torn T (they run before validation). Returned values
+// are only published after validation succeeds.
+#ifndef OPTIQL_CORE_GUARDED_H_
+#define OPTIQL_CORE_GUARDED_H_
+
+#include <utility>
+
+#include "common/platform.h"
+#include "core/optiql.h"
+#include "qnode/qnode_pool.h"
+
+namespace optiql {
+
+namespace internal {
+
+// Exclusive-section shim: OptiQL-family locks need a queue node; OptLock
+// and friends do not.
+template <class Lock>
+concept NeedsQNode = requires(Lock lock, QNode* qnode) {
+  lock.AcquireEx(qnode);
+};
+
+template <class Lock>
+struct GuardedExclusive {
+  static void Acquire(Lock& lock) {
+    if constexpr (NeedsQNode<Lock>) {
+      lock.AcquireEx(ThreadQNodes::Get(0));
+    } else {
+      lock.AcquireEx();
+    }
+  }
+  static void Release(Lock& lock) {
+    if constexpr (NeedsQNode<Lock>) {
+      lock.ReleaseEx(ThreadQNodes::Get(0));
+    } else {
+      lock.ReleaseEx();
+    }
+  }
+};
+
+}  // namespace internal
+
+template <class T, class Lock = OptiQL>
+class Guarded {
+ public:
+  Guarded() = default;
+
+  template <class... Args>
+  explicit Guarded(Args&&... args) : value_(std::forward<Args>(args)...) {}
+
+  Guarded(const Guarded&) = delete;
+  Guarded& operator=(const Guarded&) = delete;
+
+  // Runs `f(const T&)` under optimistic protection, retrying until it
+  // validates, and returns f's result (computed from the validated run).
+  template <class F>
+  auto WithRead(F&& f) const {
+    SpinWait wait;
+    while (true) {
+      uint64_t v;
+      if (!lock_.AcquireSh(v)) {
+        wait.Spin();
+        continue;
+      }
+      if constexpr (std::is_void_v<decltype(f(value_))>) {
+        f(value_);
+        if (lock_.ReleaseSh(v)) return;
+      } else {
+        auto result = f(value_);
+        if (lock_.ReleaseSh(v)) return result;
+      }
+      wait.Spin();
+    }
+  }
+
+  // Runs `f(T&)` exclusively and returns its result.
+  template <class F>
+  auto WithWrite(F&& f) {
+    internal::GuardedExclusive<Lock>::Acquire(lock_);
+    if constexpr (std::is_void_v<decltype(f(value_))>) {
+      f(value_);
+      internal::GuardedExclusive<Lock>::Release(lock_);
+    } else {
+      auto result = f(value_);
+      internal::GuardedExclusive<Lock>::Release(lock_);
+      return result;
+    }
+  }
+
+  // Copies the protected value out (validated).
+  T Load() const {
+    return WithRead([](const T& value) { return value; });
+  }
+
+  // Overwrites the protected value.
+  void Store(const T& value) {
+    WithWrite([&](T& slot) { slot = value; });
+  }
+
+  const Lock& lock() const { return lock_; }
+
+ private:
+  mutable Lock lock_;
+  T value_{};
+};
+
+}  // namespace optiql
+
+#endif  // OPTIQL_CORE_GUARDED_H_

@@ -1,0 +1,157 @@
+// OptiCLH — the paper's stated future work (§8): adapting the CLH queue
+// lock with optimistic (and opportunistic) read capabilities, mirroring
+// what OptiQL does for MCS.
+//
+// Same 8-byte word layout as OptiQL:
+//   [63] LOCKED  [62] OPREAD  [52..61] latest requester's queue-node ID
+//   [0..51] version
+//
+// Differences from OptiQL that fall out of CLH's structure:
+//   * A waiter spins on its *predecessor's* node; the spin flag and the
+//     version handover collapse into one store — the releasing holder
+//     writes its version into its own node, which simultaneously unblocks
+//     the successor and tells it which version to adopt. (OptiQL needs the
+//     successor's node pointer for this; CLH gets it for free.)
+//   * Queue nodes migrate: the successor adopts the predecessor's node, so
+//     no `next` pointer and no wait-for-link step exist at all.
+//   * AcquireEx returns the published node as the acquisition handle.
+//
+// Reader protocol, opportunistic-read window, upgrade semantics, and the
+// ABA argument are identical to OptiQL (§5).
+#ifndef OPTIQL_CORE_OPTICLH_H_
+#define OPTIQL_CORE_OPTICLH_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/platform.h"
+#include "qnode/qnode_pool.h"
+
+namespace optiql {
+
+class OptiCLH {
+ public:
+  static constexpr uint64_t kLockedBit = 1ULL << 63;
+  static constexpr uint64_t kOpReadBit = 1ULL << 62;
+  static constexpr uint64_t kStatusMask = kLockedBit | kOpReadBit;
+  static constexpr int kIdShift = 52;
+  static constexpr uint64_t kIdMask =
+      ((1ULL << QNodePool::kIdBits) - 1) << kIdShift;
+  static constexpr uint64_t kVersionMask = (1ULL << kIdShift) - 1;
+
+  OptiCLH() = default;
+  OptiCLH(const OptiCLH&) = delete;
+  OptiCLH& operator=(const OptiCLH&) = delete;
+
+  // --- Optimistic reader interface (identical to OptiQL) ---
+
+  bool AcquireSh(uint64_t& v) const {
+    v = word_.load(std::memory_order_acquire);
+    return (v & kStatusMask) != kLockedBit;
+  }
+
+  bool ReleaseSh(uint64_t v) const {
+    std::atomic_thread_fence(std::memory_order_acquire);
+    return word_.load(std::memory_order_relaxed) == v;
+  }
+
+  // --- Exclusive writer interface ---
+
+  // Blocks until granted; returns the acquisition handle to pass to
+  // ReleaseEx. The handle's `aux` carries the version to publish.
+  QNode* AcquireEx() {
+    QNode* node = ThreadQNodeStack::Pop();
+    node->version.store(kSpinFlag, std::memory_order_relaxed);
+    const uint64_t self =
+        kLockedBit | (static_cast<uint64_t>(Pool().ToId(node)) << kIdShift);
+    const uint64_t pred = word_.exchange(self, std::memory_order_acq_rel);
+    if ((pred & kLockedBit) == 0) {
+      // Lock was free: adopt version+1 from the word snapshot.
+      node->aux.store(NextVersion(pred), std::memory_order_relaxed);
+      return node;
+    }
+    QNode* pred_node =
+        Pool().ToPtr(static_cast<uint32_t>((pred & kIdMask) >> kIdShift));
+    SpinWait wait;
+    uint64_t granted_version;
+    while ((granted_version = pred_node->version.load(
+                std::memory_order_acquire)) == kSpinFlag) {
+      wait.Spin();
+    }
+    // The predecessor's node is ours now.
+    ThreadQNodeStack::Push(pred_node);
+    node->aux.store(NextVersion(granted_version), std::memory_order_relaxed);
+    // Close the opportunistic-read window opened by the predecessor.
+    word_.fetch_and(~(kOpReadBit | kVersionMask), std::memory_order_acq_rel);
+    return node;
+  }
+
+  void ReleaseEx(QNode* node) {
+    const uint64_t self =
+        kLockedBit | (static_cast<uint64_t>(Pool().ToId(node)) << kIdShift);
+    const uint64_t my_version = node->aux.load(std::memory_order_relaxed);
+    uint64_t expected = self;
+    if (word_.compare_exchange_strong(expected, my_version,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+      ThreadQNodeStack::Push(node);  // No successor saw the node.
+      return;
+    }
+    // Open the opportunistic-read window, then grant the successor: one
+    // store both unblocks it and hands it our version. The node is
+    // abandoned to the successor.
+    word_.fetch_or(kOpReadBit | my_version, std::memory_order_release);
+    node->version.store(my_version, std::memory_order_release);
+  }
+
+  // Promotes a free-state snapshot to exclusive ownership (cf. OptiQL's
+  // upgrade, §6.2). Returns the acquisition handle, or nullptr on failure.
+  QNode* TryUpgrade(uint64_t v) {
+    if ((v & kStatusMask) != 0) return nullptr;
+    QNode* node = ThreadQNodeStack::Pop();
+    node->version.store(kSpinFlag, std::memory_order_relaxed);
+    node->aux.store(NextVersion(v), std::memory_order_relaxed);
+    const uint64_t self =
+        kLockedBit | (static_cast<uint64_t>(Pool().ToId(node)) << kIdShift);
+    if (word_.compare_exchange_strong(v, self, std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+      return node;
+    }
+    ThreadQNodeStack::Push(node);
+    return nullptr;
+  }
+
+  QNode* TryAcquireEx() {
+    const uint64_t v = word_.load(std::memory_order_relaxed);
+    if ((v & kStatusMask) != 0) return nullptr;
+    return TryUpgrade(v);
+  }
+
+  // --- Introspection ---
+
+  bool IsLockedEx() const {
+    return (word_.load(std::memory_order_acquire) & kLockedBit) != 0;
+  }
+  bool IsOpReadWindowOpen() const {
+    return (word_.load(std::memory_order_acquire) & kStatusMask) ==
+           kStatusMask;
+  }
+  uint64_t LoadWord() const { return word_.load(std::memory_order_acquire); }
+  static uint64_t VersionOf(uint64_t word) { return word & kVersionMask; }
+
+ private:
+  // Sentinel distinct from any masked version.
+  static constexpr uint64_t kSpinFlag = QNode::kInvalidVersion;
+
+  static QNodePool& Pool() { return QNodePool::Instance(); }
+
+  static uint64_t NextVersion(uint64_t v) { return (v + 1) & kVersionMask; }
+
+  std::atomic<uint64_t> word_{0};
+};
+
+static_assert(sizeof(OptiCLH) == 8, "OptiCLH must be one 8-byte word");
+
+}  // namespace optiql
+
+#endif  // OPTIQL_CORE_OPTICLH_H_

@@ -1,0 +1,217 @@
+// OptiQL — the optimistic queuing lock (the paper's contribution, §4–§5).
+//
+// OptiQL extends the MCS lock with optimistic-read capabilities:
+//   * Writers form a FIFO queue and spin locally (robustness + fairness).
+//   * Readers never write shared memory: they snapshot the 8-byte lock word
+//     and validate it after the critical section, exactly like centralized
+//     optimistic locks (Algorithm 2).
+//   * Because MCS-style handover keeps the word "locked" continuously,
+//     a releasing writer opens an *opportunistic read* window (§5.3): it
+//     publishes `OPREAD | version` on the word with one FETCH_OR; the next
+//     grantee closes the window with one FETCH_AND before touching data.
+//
+// Lock word layout (Figure 3a):
+//   bit 63      LOCKED       granted to / being handed to a writer
+//   bit 62      OPREAD       opportunistic-read window open
+//   bits 52..61 queue-node ID of the latest writer requester (0 = none)
+//   bits 0..51  version
+//
+// The word carries *both* the latest requester's node ID and the version.
+// Carrying the version (not just the OPREAD bit) is required for
+// correctness: repeated critical sections by one writer would otherwise be
+// indistinguishable to a validating reader (the §5.3 ABA scenario; see
+// OptiQlAbaTest).
+//
+// The queue node carries a version instead of MCS's `granted` flag: a
+// releasing writer passes `my_version + 1` into the successor's node, which
+// simultaneously grants the lock and tells the successor which version to
+// publish when it releases (Algorithm 3). The lock word itself cannot be
+// the version source because concurrent XCHGs overwrite it unconditionally.
+#ifndef OPTIQL_CORE_OPTIQL_H_
+#define OPTIQL_CORE_OPTIQL_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/platform.h"
+#include "qnode/qnode_pool.h"
+
+namespace optiql {
+
+// `kEnableOpRead` selects between full OptiQL (true) and OptiQL-NOR (false,
+// §7.1): NOR skips the two handover atomics, which helps write-only
+// microbenchmarks but starves optimistic readers under contention (Table 1).
+template <bool kEnableOpRead>
+class BasicOptiQL {
+ public:
+  static constexpr uint64_t kLockedBit = 1ULL << 63;
+  static constexpr uint64_t kOpReadBit = 1ULL << 62;
+  static constexpr uint64_t kStatusMask = kLockedBit | kOpReadBit;
+  static constexpr int kIdShift = 52;
+  static constexpr uint64_t kIdMask =
+      ((1ULL << QNodePool::kIdBits) - 1) << kIdShift;
+  static constexpr uint64_t kVersionMask = (1ULL << kIdShift) - 1;
+
+  BasicOptiQL() = default;
+  BasicOptiQL(const BasicOptiQL&) = delete;
+  BasicOptiQL& operator=(const BasicOptiQL&) = delete;
+
+  // --- Optimistic reader interface (Algorithm 2) ---
+  //
+  // Identical cost and semantics to the centralized OptLock: one load, one
+  // mask, one compare. Readers may proceed when the lock is free *or* when
+  // an opportunistic-read window is open (LOCKED and OPREAD both set).
+
+  bool AcquireSh(uint64_t& v) const {
+    v = word_.load(std::memory_order_acquire);
+    return (v & kStatusMask) != kLockedBit;
+  }
+
+  bool ReleaseSh(uint64_t v) const {
+    // Seqlock validation: order the caller's data reads before the
+    // validating load, then require the *entire word* (status + requester
+    // ID + version) to be unchanged.
+    std::atomic_thread_fence(std::memory_order_acquire);
+    return word_.load(std::memory_order_relaxed) == v;
+  }
+
+  // --- Exclusive writer interface (Algorithm 3) ---
+
+  // Blocking acquire. `qnode` must remain owned by this thread until the
+  // matching ReleaseEx returns.
+  void AcquireEx(QNode* qnode) {
+    AcquireExDeferred(qnode);
+    FinishAcquireEx(qnode);
+  }
+
+  // Adjustable opportunistic read (AOR, §5.3): joins the queue and blocks
+  // until granted, but leaves an inherited opportunistic-read window open so
+  // readers keep sneaking in. The caller MUST call FinishAcquireEx(qnode)
+  // before modifying the protected data.
+  void AcquireExDeferred(QNode* qnode) {
+    qnode->next.store(nullptr, std::memory_order_relaxed);
+    qnode->version.store(QNode::kInvalidVersion, std::memory_order_relaxed);
+    qnode->aux.store(0, std::memory_order_relaxed);
+
+    const uint64_t self =
+        kLockedBit | (static_cast<uint64_t>(Pool().ToId(qnode)) << kIdShift);
+    const uint64_t pred = word_.exchange(self, std::memory_order_acq_rel);
+    if ((pred & kLockedBit) == 0) {
+      // Lock was free: adopt version+1. The XCHG already cleared any stale
+      // OPREAD/version bits, so the word is clean.
+      qnode->version.store(NextVersion(pred), std::memory_order_relaxed);
+      return;
+    }
+    // Line up behind the latest requester and spin on our own node.
+    QNode* pred_node =
+        Pool().ToPtr(static_cast<uint32_t>((pred & kIdMask) >> kIdShift));
+    qnode->aux.store(kGrantedByHandover, std::memory_order_relaxed);
+    pred_node->next.store(qnode, std::memory_order_release);
+    SpinWait wait;
+    while (qnode->version.load(std::memory_order_acquire) ==
+           QNode::kInvalidVersion) {
+      wait.Spin();
+    }
+  }
+
+  // Closes the opportunistic-read window inherited from the releasing
+  // predecessor (Algorithm 3 line 11). No-op for OptiQL-NOR and for
+  // acquisitions that found the lock free.
+  void FinishAcquireEx(QNode* qnode) {
+    if constexpr (kEnableOpRead) {
+      if (qnode->aux.load(std::memory_order_relaxed) == kGrantedByHandover) {
+        word_.fetch_and(~(kOpReadBit | kVersionMask),
+                        std::memory_order_acq_rel);
+      }
+    } else {
+      (void)qnode;
+    }
+  }
+
+  void ReleaseEx(QNode* qnode) {
+    const uint64_t self =
+        kLockedBit | (static_cast<uint64_t>(Pool().ToId(qnode)) << kIdShift);
+    const uint64_t my_version =
+        qnode->version.load(std::memory_order_relaxed);
+    if (qnode->next.load(std::memory_order_acquire) == nullptr) {
+      // Word still records us as the latest requester => no successor.
+      // Publish the new version and leave. (The version comes from our
+      // queue node, not the word: concurrent XCHGs may clobber the word.)
+      uint64_t expected = self;
+      if (word_.compare_exchange_strong(expected, my_version,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+        return;
+      }
+    }
+    if constexpr (kEnableOpRead) {
+      // There is a successor: open the opportunistic-read window. The data
+      // is consistent from here until the grantee's FinishAcquireEx, and the
+      // word now carries (LOCKED|OPREAD, latest requester, our version) so
+      // readers can snapshot and validate it (Figure 4d–e).
+      word_.fetch_or(kOpReadBit | my_version, std::memory_order_release);
+    }
+    SpinWait wait;
+    QNode* next;
+    while ((next = qnode->next.load(std::memory_order_acquire)) == nullptr) {
+      wait.Spin();
+    }
+    // Grant the successor by handing it its version (Figure 4f).
+    next->version.store(NextVersion(my_version), std::memory_order_release);
+  }
+
+  // Promotes an optimistic read snapshot `v` (taken while the lock was
+  // free) directly to exclusive ownership (§6.2, used by ART). Unlike
+  // OptLock's upgrade, the word is left carrying our queue node so that
+  // subsequent writers line up instead of CAS-spinning.
+  bool TryUpgrade(uint64_t v, QNode* qnode) {
+    if ((v & kStatusMask) != 0) return false;  // Only from a free snapshot.
+    qnode->next.store(nullptr, std::memory_order_relaxed);
+    qnode->aux.store(0, std::memory_order_relaxed);
+    qnode->version.store(NextVersion(v), std::memory_order_relaxed);
+    const uint64_t self =
+        kLockedBit | (static_cast<uint64_t>(Pool().ToId(qnode)) << kIdShift);
+    return word_.compare_exchange_strong(v, self, std::memory_order_acq_rel,
+                                         std::memory_order_relaxed);
+  }
+
+  // Non-blocking exclusive acquire from the free state.
+  bool TryAcquireEx(QNode* qnode) {
+    uint64_t v = word_.load(std::memory_order_relaxed);
+    return (v & kStatusMask) == 0 && TryUpgrade(v, qnode);
+  }
+
+  // --- Introspection (tests/diagnostics) ---
+
+  bool IsLockedEx() const {
+    return (word_.load(std::memory_order_acquire) & kLockedBit) != 0;
+  }
+  bool IsOpReadWindowOpen() const {
+    return (word_.load(std::memory_order_acquire) & kStatusMask) ==
+           kStatusMask;
+  }
+  uint64_t LoadWord() const { return word_.load(std::memory_order_acquire); }
+  static uint64_t VersionOf(uint64_t word) { return word & kVersionMask; }
+
+ private:
+  // QNode::aux marker: set when the grant arrived via queue handover (only
+  // then is there an opportunistic-read window to close).
+  static constexpr uint64_t kGrantedByHandover = 1;
+
+  static QNodePool& Pool() { return QNodePool::Instance(); }
+
+  static uint64_t NextVersion(uint64_t v) {
+    return (v + 1) & kVersionMask;
+  }
+
+  std::atomic<uint64_t> word_{0};
+};
+
+using OptiQL = BasicOptiQL<true>;
+using OptiQLNor = BasicOptiQL<false>;
+
+static_assert(sizeof(OptiQL) == 8, "OptiQL must be one 8-byte word");
+
+}  // namespace optiql
+
+#endif  // OPTIQL_CORE_OPTIQL_H_

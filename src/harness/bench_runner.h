@@ -1,0 +1,88 @@
+// Fixed-duration multithreaded benchmark runner (PiBench-style, §7.1): it
+// spawns worker threads, releases them through a barrier, lets them run for
+// a fixed wall-clock duration, then gathers per-thread operation counts,
+// abort counts and optional latency histograms.
+#ifndef OPTIQL_HARNESS_BENCH_RUNNER_H_
+#define OPTIQL_HARNESS_BENCH_RUNNER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "harness/histogram.h"
+
+namespace optiql {
+
+struct RunOptions {
+  int threads = 4;
+  int duration_ms = 300;
+  // Pin worker i to CPU (i % cores). A no-op when pinning fails (e.g., more
+  // threads than cores is fine; restricted cpusets are not fatal).
+  bool pin_threads = true;
+  // Sample one latency measurement every `latency_sampling` operations;
+  // 0 disables latency collection.
+  uint32_t latency_sampling = 0;
+};
+
+// Per-thread benchmark state handed to the worker function.
+struct WorkerStats {
+  uint64_t ops = 0;       // Completed operations.
+  uint64_t aborts = 0;    // Failed optimistic attempts / retries.
+  uint64_t reads_ok = 0;  // Successful read operations (for Table 1).
+  uint64_t reads_attempted = 0;
+  Histogram latency;      // Populated only when latency_sampling > 0.
+};
+
+struct RunResult {
+  std::vector<WorkerStats> per_thread;
+  double seconds = 0;
+
+  uint64_t TotalOps() const;
+  uint64_t TotalAborts() const;
+  uint64_t TotalReadsOk() const;
+  uint64_t TotalReadsAttempted() const;
+  double MopsPerSec() const;
+  // Jain's fairness index over per-thread op counts: 1.0 = perfectly fair,
+  // 1/N = maximally unfair. Used for the backoff-fairness ablation.
+  double JainFairness() const;
+  // Merged latency histogram across threads.
+  Histogram MergedLatency() const;
+};
+
+// Worker signature: Worker(thread_id, stop_flag, stats). The worker must
+// poll `stop_flag` (acquire) frequently and return promptly once set.
+using WorkerFn =
+    std::function<void(int, const std::atomic<bool>&, WorkerStats&)>;
+
+RunResult RunFixedDuration(const RunOptions& options, const WorkerFn& worker);
+
+// Repeated-run aggregation (paper §7.1 reports averages of 20 runs with
+// 95% confidence intervals).
+struct RepeatedResult {
+  std::vector<double> mops;  // Per-run throughput.
+
+  double Mean() const;
+  double StdDev() const;
+  // Half-width of the 95% confidence interval (normal approximation).
+  double Ci95() const;
+};
+
+// Runs the worker `repeats` times and aggregates throughput. `repeats`
+// defaults to OPTIQL_BENCH_REPEATS (or 1).
+RepeatedResult RunRepeated(const RunOptions& options, const WorkerFn& worker,
+                           int repeats = 0);
+
+// Reads an environment-variable integer, or `fallback` if unset/invalid.
+int64_t EnvInt(const char* name, int64_t fallback);
+
+// Default thread sweep for benchmarks: {1, 2, 4, ...} capped at
+// 2*hardware_concurrency, overridable with OPTIQL_BENCH_THREADS=a,b,c.
+std::vector<int> BenchThreadCounts();
+
+// Benchmark duration per data point in ms (OPTIQL_BENCH_DURATION_MS).
+int BenchDurationMs(int fallback = 200);
+
+}  // namespace optiql
+
+#endif  // OPTIQL_HARNESS_BENCH_RUNNER_H_

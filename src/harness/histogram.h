@@ -1,0 +1,100 @@
+// Fixed-size log-linear latency histogram (HdrHistogram-style): 64 power-of-
+// two major buckets, each split into 32 linear minor buckets, giving a
+// relative error bound of 1/32 (~3%) across the full uint64 range. Used for
+// the paper's tail-latency experiments (Figure 12).
+#ifndef OPTIQL_HARNESS_HISTOGRAM_H_
+#define OPTIQL_HARNESS_HISTOGRAM_H_
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace optiql {
+
+class Histogram {
+ public:
+  static constexpr int kMajorBuckets = 64;
+  static constexpr int kMinorBits = 5;
+  static constexpr int kMinorBuckets = 1 << kMinorBits;
+
+  Histogram() : counts_(kMajorBuckets * kMinorBuckets, 0) {}
+
+  void Record(uint64_t value) {
+    ++counts_[BucketIndex(value)];
+    ++count_;
+    sum_ += value;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+
+  void Merge(const Histogram& other) {
+    for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+  // Returns the upper bound of the bucket containing the q-quantile
+  // (0 <= q <= 1). Returns 0 for an empty histogram.
+  uint64_t ValueAtQuantile(double q) const {
+    if (count_ == 0) return 0;
+    const uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count_));
+    uint64_t seen = 0;
+    for (size_t i = 0; i < counts_.size(); ++i) {
+      seen += counts_[i];
+      if (seen > rank || (q >= 1.0 && seen == count_)) {
+        return BucketUpperBound(i);
+      }
+    }
+    return max_;
+  }
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double Mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  void Reset() {
+    std::fill(counts_.begin(), counts_.end(), 0);
+    count_ = 0;
+    sum_ = 0;
+    min_ = ~0ULL;
+    max_ = 0;
+  }
+
+ private:
+  static size_t BucketIndex(uint64_t value) {
+    if (value < kMinorBuckets) return static_cast<size_t>(value);
+    const int msb = 63 - std::countl_zero(value);
+    const int major = msb - kMinorBits + 1;
+    const uint64_t minor = (value >> (msb - kMinorBits)) & (kMinorBuckets - 1);
+    return static_cast<size_t>(major) * kMinorBuckets +
+           static_cast<size_t>(minor);
+  }
+
+  static uint64_t BucketUpperBound(size_t index) {
+    const uint64_t major = index >> kMinorBits;
+    const uint64_t minor = index & (kMinorBuckets - 1);
+    if (major == 0) return minor;
+    // Bucket [major][minor] covers values with MSB at position
+    // major + kMinorBits - 1 and the next kMinorBits bits equal to minor.
+    const int msb = static_cast<int>(major) + kMinorBits - 1;
+    const uint64_t base = (1ULL << msb) | (minor << (msb - kMinorBits));
+    return base + (1ULL << (msb - kMinorBits)) - 1;
+  }
+
+  std::vector<uint64_t> counts_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = ~0ULL;
+  uint64_t max_ = 0;
+};
+
+}  // namespace optiql
+
+#endif  // OPTIQL_HARNESS_HISTOGRAM_H_

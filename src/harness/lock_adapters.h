@@ -1,0 +1,263 @@
+// Uniform compile-time adapters over every lock in the repository, so the
+// microbenchmark framework (paper §7.1-7.2) and the typed test suites can be
+// written once and instantiated per lock.
+//
+// Adapter surface:
+//   kName            display name matching the paper's legend
+//   kHasSharedMode   lock supports read critical sections at all
+//   kOptimistic      read critical sections may fail and must be retried
+//   Ctx              per-thread context (queue node handles where needed)
+//   AcquireEx/ReleaseEx(lock, ctx)
+//   ReadCritical(lock, ctx, f) -> bool: runs `f()` under the lock's read
+//       protection; returns false if an optimistic read failed validation
+//       (the caller decides whether to retry).
+#ifndef OPTIQL_HARNESS_LOCK_ADAPTERS_H_
+#define OPTIQL_HARNESS_LOCK_ADAPTERS_H_
+
+#include <cstdint>
+
+#include "core/opticlh.h"
+#include "core/optiql.h"
+#include "locks/clh_lock.h"
+#include "locks/hybrid_lock.h"
+#include "locks/mcs_lock.h"
+#include "locks/mcs_rw_lock.h"
+#include "locks/optlock.h"
+#include "locks/shared_mutex_lock.h"
+#include "locks/tts_lock.h"
+#include "locks/ticket_lock.h"
+#include "qnode/qnode_pool.h"
+
+namespace optiql {
+
+// --- Centralized exclusive-only locks ---
+
+template <class Lock>
+struct CentralizedExclusiveOps {
+  static constexpr bool kHasSharedMode = false;
+  static constexpr bool kOptimistic = false;
+
+  struct Ctx {};
+
+  static void AcquireEx(Lock& lock, Ctx&) { lock.AcquireEx(); }
+  static void ReleaseEx(Lock& lock, Ctx&) { lock.ReleaseEx(); }
+};
+
+template <class Lock>
+struct LockOps;
+
+template <>
+struct LockOps<TtsLock> : CentralizedExclusiveOps<TtsLock> {
+  static constexpr const char* kName = "TTS";
+};
+
+template <>
+struct LockOps<TtsBackoffLock> : CentralizedExclusiveOps<TtsBackoffLock> {
+  static constexpr const char* kName = "TTS-Backoff";
+};
+
+template <>
+struct LockOps<TicketLock> : CentralizedExclusiveOps<TicketLock> {
+  static constexpr const char* kName = "Ticket";
+};
+
+// --- Centralized optimistic locks ---
+
+template <class Lock>
+struct CentralizedOptimisticOps {
+  static constexpr bool kHasSharedMode = true;
+  static constexpr bool kOptimistic = true;
+
+  struct Ctx {};
+
+  static void AcquireEx(Lock& lock, Ctx&) { lock.AcquireEx(); }
+  static void ReleaseEx(Lock& lock, Ctx&) { lock.ReleaseEx(); }
+
+  template <class F>
+  static bool ReadCritical(Lock& lock, Ctx&, F&& f) {
+    uint64_t v;
+    if (!lock.AcquireSh(v)) return false;
+    f();
+    return lock.ReleaseSh(v);
+  }
+};
+
+template <>
+struct LockOps<OptLock> : CentralizedOptimisticOps<OptLock> {
+  static constexpr const char* kName = "OptLock";
+};
+
+template <>
+struct LockOps<OptBackoffLock> : CentralizedOptimisticOps<OptBackoffLock> {
+  static constexpr const char* kName = "OptLock-Backoff";
+};
+
+// --- Queue-based locks ---
+
+template <>
+struct LockOps<McsLock> {
+  static constexpr const char* kName = "MCS";
+  static constexpr bool kHasSharedMode = false;
+  static constexpr bool kOptimistic = false;
+
+  struct Ctx {
+    QNode* qnode = ThreadQNodes::Get(0);
+  };
+
+  static void AcquireEx(McsLock& lock, Ctx& ctx) {
+    lock.AcquireEx(ctx.qnode);
+  }
+  static void ReleaseEx(McsLock& lock, Ctx& ctx) {
+    lock.ReleaseEx(ctx.qnode);
+  }
+};
+
+template <>
+struct LockOps<McsRwLock> {
+  static constexpr const char* kName = "MCS-RW";
+  static constexpr bool kHasSharedMode = true;
+  static constexpr bool kOptimistic = false;
+
+  struct Ctx {
+    QNode* qnode = ThreadQNodes::Get(0);
+  };
+
+  static void AcquireEx(McsRwLock& lock, Ctx& ctx) {
+    lock.AcquireEx(ctx.qnode);
+  }
+  static void ReleaseEx(McsRwLock& lock, Ctx& ctx) {
+    lock.ReleaseEx(ctx.qnode);
+  }
+
+  template <class F>
+  static bool ReadCritical(McsRwLock& lock, Ctx& ctx, F&& f) {
+    lock.AcquireSh(ctx.qnode);
+    f();
+    lock.ReleaseSh(ctx.qnode);
+    return true;
+  }
+};
+
+template <bool kOpRead>
+struct OptiQlOps {
+  static constexpr bool kHasSharedMode = true;
+  static constexpr bool kOptimistic = true;
+
+  using Lock = BasicOptiQL<kOpRead>;
+
+  struct Ctx {
+    QNode* qnode = ThreadQNodes::Get(0);
+  };
+
+  static void AcquireEx(Lock& lock, Ctx& ctx) { lock.AcquireEx(ctx.qnode); }
+  static void ReleaseEx(Lock& lock, Ctx& ctx) { lock.ReleaseEx(ctx.qnode); }
+
+  template <class F>
+  static bool ReadCritical(Lock& lock, Ctx&, F&& f) {
+    uint64_t v;
+    if (!lock.AcquireSh(v)) return false;
+    f();
+    return lock.ReleaseSh(v);
+  }
+};
+
+template <>
+struct LockOps<OptiQL> : OptiQlOps<true> {
+  static constexpr const char* kName = "OptiQL";
+};
+
+template <>
+struct LockOps<OptiQLNor> : OptiQlOps<false> {
+  static constexpr const char* kName = "OptiQL-NOR";
+};
+
+template <>
+struct LockOps<ClhLock> {
+  static constexpr const char* kName = "CLH";
+  static constexpr bool kHasSharedMode = false;
+  static constexpr bool kOptimistic = false;
+
+  struct Ctx {
+    QNode* handle = nullptr;  // Current acquisition handle.
+  };
+
+  static void AcquireEx(ClhLock& lock, Ctx& ctx) {
+    ctx.handle = lock.AcquireEx();
+  }
+  static void ReleaseEx(ClhLock& lock, Ctx& ctx) {
+    lock.ReleaseEx(ctx.handle);
+    ctx.handle = nullptr;
+  }
+};
+
+template <>
+struct LockOps<OptiCLH> {
+  static constexpr const char* kName = "OptiCLH";
+  static constexpr bool kHasSharedMode = true;
+  static constexpr bool kOptimistic = true;
+
+  struct Ctx {
+    QNode* handle = nullptr;  // Current acquisition handle.
+  };
+
+  static void AcquireEx(OptiCLH& lock, Ctx& ctx) {
+    ctx.handle = lock.AcquireEx();
+  }
+  static void ReleaseEx(OptiCLH& lock, Ctx& ctx) {
+    lock.ReleaseEx(ctx.handle);
+    ctx.handle = nullptr;
+  }
+
+  template <class F>
+  static bool ReadCritical(OptiCLH& lock, Ctx&, F&& f) {
+    uint64_t v;
+    if (!lock.AcquireSh(v)) return false;
+    f();
+    return lock.ReleaseSh(v);
+  }
+};
+
+template <>
+struct LockOps<HybridLock> {
+  static constexpr const char* kName = "Hybrid";
+  static constexpr bool kHasSharedMode = true;
+  // Reads adaptively fall back to pessimistic mode, so they never fail.
+  static constexpr bool kOptimistic = false;
+
+  struct Ctx {};
+
+  static void AcquireEx(HybridLock& lock, Ctx&) { lock.AcquireEx(); }
+  static void ReleaseEx(HybridLock& lock, Ctx&) { lock.ReleaseEx(); }
+
+  template <class F>
+  static bool ReadCritical(HybridLock& lock, Ctx&, F&& f) {
+    lock.ReadCriticalHybrid(static_cast<F&&>(f));
+    return true;
+  }
+};
+
+// --- OS reader-writer lock ---
+
+template <>
+struct LockOps<SharedMutexLock> {
+  static constexpr const char* kName = "pthread";
+  static constexpr bool kHasSharedMode = true;
+  static constexpr bool kOptimistic = false;
+
+  struct Ctx {};
+
+  static void AcquireEx(SharedMutexLock& lock, Ctx&) { lock.AcquireEx(); }
+  static void ReleaseEx(SharedMutexLock& lock, Ctx&) { lock.ReleaseEx(); }
+
+  template <class F>
+  static bool ReadCritical(SharedMutexLock& lock, Ctx&, F&& f) {
+    lock.AcquireSh();
+    f();
+    lock.ReleaseSh();
+    return true;
+  }
+};
+
+}  // namespace optiql
+
+#endif  // OPTIQL_HARNESS_LOCK_ADAPTERS_H_

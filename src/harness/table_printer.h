@@ -1,0 +1,30 @@
+// Plain-text aligned table output for the benchmark binaries: each bench
+// prints the same rows/series the paper's figures and tables report.
+#ifndef OPTIQL_HARNESS_TABLE_PRINTER_H_
+#define OPTIQL_HARNESS_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace optiql {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Formats a double with `precision` digits after the point.
+  static std::string Fmt(double value, int precision = 2);
+
+  // Prints the table to stdout with aligned columns.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace optiql
+
+#endif  // OPTIQL_HARNESS_TABLE_PRINTER_H_

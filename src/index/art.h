@@ -1,0 +1,666 @@
+// Adaptive Radix Tree (ART, Leis et al. ICDE'13) with optimistic lock
+// coupling (Leis et al., "The ART of Practical Synchronization", DaMoN'16)
+// and the paper's OptiQL adaptation (§6.2).
+//
+// Features:
+//   * Adaptive node types Node4 / Node16 / Node48 / Node256 (art_nodes.h).
+//   * Lazy expansion: single keys hang off inner nodes as tagged leaf
+//     pointers to (key, value) records; lookups verify the full key.
+//   * Path compression, pessimistic variant: every compressed byte is
+//     stored in the node header. Prefixes are capped at kArtMaxPrefix
+//     bytes; longer common prefixes become a chain of nodes. (The paper's
+//     8-byte integer keys never exceed the cap; this trades a little
+//     memory on long string keys for a much simpler optimistic-read
+//     protocol.)
+//   * Synchronization policies:
+//       ArtOlcPolicy           — OptLock on every node, classic OLC.
+//       ArtOptiQlPolicy<L>     — OptiQL (or OptiQL-NOR) on every node.
+//         Writers normally promote read snapshots with TryUpgrade (leaving
+//         their queue node on the word so later writers queue, §6.2); when
+//         an update targets a fully materialized last-level node, the lock
+//         is taken *directly* with the blocking queue-based acquire.
+//         Contention expansion: nodes repeatedly upgraded by writers count
+//         contention (probabilistically); past a threshold, the lazy leaf
+//         is expanded into a materialized path so future updates can use
+//         the direct queue-based acquire.
+//
+// The pessimistic lock-coupling variant (MCS-RW / pthread baselines) lives
+// in art_coupling.h.
+//
+// Node replacement (growth, expansion) marks the old node obsolete and
+// retires it through the epoch manager; every read or exclusive acquisition
+// re-checks the obsolete flag. Readers never dereference a racy pointer
+// before re-validating the version that produced it.
+//
+// Key constraint (standard for ART): the key set must be prefix-free.
+// Fixed-size integer keys satisfy this by construction; variable-length
+// byte keys can append a terminator. Operations that would violate it
+// return false.
+#ifndef OPTIQL_INDEX_ART_H_
+#define OPTIQL_INDEX_ART_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+
+#include "common/check.h"
+#include "common/platform.h"
+#include "common/random.h"
+#include "core/optiql.h"
+#include "index/art_nodes.h"
+#include "locks/optlock.h"
+#include "qnode/qnode_pool.h"
+#include "sync/epoch.h"
+#include "workload/key_generator.h"
+
+namespace optiql {
+
+struct ArtOlcPolicy {
+  using Lock = OptLock;
+  static constexpr bool kQueueBased = false;
+};
+
+template <class QlLock = OptiQL>
+struct ArtOptiQlPolicy {
+  using Lock = QlLock;
+  static constexpr bool kQueueBased = true;
+};
+
+template <class SyncPolicy = ArtOlcPolicy>
+class ArtTree {
+ public:
+  using Lock = typename SyncPolicy::Lock;
+  static constexpr bool kQueueBased = SyncPolicy::kQueueBased;
+
+  // Contention expansion parameters (§6.2): a successful upgrade-based
+  // exclusive acquisition increments the node's contention counter with
+  // probability kContentionSamplingPermille/1000; crossing
+  // `contention_threshold` triggers expansion. The paper uses p=0.1 and a
+  // threshold of 1024.
+  static constexpr uint32_t kContentionSamplingPermille = 100;
+
+  ArtTree() : root_(Nodes::NewNode(NodeType::kNode256)) {}
+
+  explicit ArtTree(uint32_t contention_threshold)
+      : contention_threshold_(contention_threshold),
+        root_(Nodes::NewNode(NodeType::kNode256)) {}
+
+  ~ArtTree() {
+    Nodes::FreeSubtree(root_);
+    // Free retired nodes when provably safe; leftovers (pinned by other
+    // threads' epochs) are drained by later operations or at thread exit.
+    EpochManager::Instance().ReclaimIfPossible();
+  }
+
+  ArtTree(const ArtTree&) = delete;
+  ArtTree& operator=(const ArtTree&) = delete;
+
+  // --- Byte-string key interface ---
+
+  bool Insert(std::string_view key, uint64_t value) {
+    EpochGuard guard;
+    while (true) {
+      bool ok = false;
+      if (InsertAttempt(key, value, &ok)) return ok;
+    }
+  }
+
+  bool Update(std::string_view key, uint64_t value) {
+    EpochGuard guard;
+    while (true) {
+      bool ok = false;
+      if (UpdateAttempt(key, value, &ok)) return ok;
+    }
+  }
+
+  bool Lookup(std::string_view key, uint64_t& out) const {
+    EpochGuard guard;
+    while (true) {
+      bool ok = false;
+      if (LookupAttempt(key, out, &ok)) return ok;
+    }
+  }
+
+  bool Remove(std::string_view key) {
+    EpochGuard guard;
+    while (true) {
+      bool ok = false;
+      if (RemoveAttempt(key, &ok)) return ok;
+    }
+  }
+
+  // --- Fixed 8-byte integer key convenience (big-endian encoded) ---
+
+  bool InsertInt(uint64_t key, uint64_t value) {
+    const uint64_t be = ToBigEndian(key);
+    return Insert({reinterpret_cast<const char*>(&be), 8}, value);
+  }
+  bool UpdateInt(uint64_t key, uint64_t value) {
+    const uint64_t be = ToBigEndian(key);
+    return Update({reinterpret_cast<const char*>(&be), 8}, value);
+  }
+  bool LookupInt(uint64_t key, uint64_t& out) const {
+    const uint64_t be = ToBigEndian(key);
+    return Lookup({reinterpret_cast<const char*>(&be), 8}, out);
+  }
+  bool RemoveInt(uint64_t key) {
+    const uint64_t be = ToBigEndian(key);
+    return Remove({reinterpret_cast<const char*>(&be), 8});
+  }
+
+  size_t Size() const { return size_.load(std::memory_order_acquire); }
+
+  // Number of contention expansions performed (diagnostics / ablation).
+  uint64_t ContentionExpansions() const {
+    return expansions_.load(std::memory_order_acquire);
+  }
+
+  // Single-threaded structural check: prefixes and routing bytes of every
+  // leaf match its stored key; counts are consistent. Aborts on violation.
+  void CheckInvariants() const {
+    size_t leaves = 0;
+    uint8_t key_buffer[512];
+    Nodes::CheckSubtree(root_, key_buffer, 0, &leaves);
+    OPTIQL_CHECK(leaves == Size());
+  }
+
+  // Number of inner nodes of each type (single-threaded diagnostic;
+  // index 0 = Node4 .. 3 = Node256, including the fixed root).
+  std::array<size_t, 4> NodeTypeCensus() const {
+    std::array<size_t, 4> counts{};
+    CensusSubtree(root_, &counts);
+    return counts;
+  }
+
+ private:
+  using Nodes = ArtNodes<Lock>;
+  using Node = typename Nodes::Node;
+  using NodeType = typename Nodes::NodeType;
+  using LeafRecord = typename Nodes::LeafRecord;
+
+  // --- Lock helpers (uniform over OptLock and OptiQL) ---
+  //
+  // Exclusive ownership is tracked by slot so OptiQL can pass the same
+  // queue node to ReleaseEx. Slot 0 = deeper node, slot 1 = parent.
+
+  enum class ReadResult { kOk, kRestart };
+
+  // Snapshots the version, restarting (instead of spinning forever) when
+  // the node has been retired.
+  ReadResult ReadLockNode(const Node* node, uint64_t* v) const {
+    SpinWait wait;
+    while (!node->lock.AcquireSh(*v)) {
+      if (node->obsolete.load(std::memory_order_acquire)) {
+        return ReadResult::kRestart;
+      }
+      wait.Spin();
+    }
+    if (node->obsolete.load(std::memory_order_acquire)) {
+      return ReadResult::kRestart;
+    }
+    return ReadResult::kOk;
+  }
+
+  static bool ValidateNode(const Node* node, uint64_t v) {
+    return node->lock.ReleaseSh(v);
+  }
+
+  bool TryUpgradeNode(Node* node, uint64_t v, int slot) {
+    bool ok;
+    if constexpr (kQueueBased) {
+      ok = node->lock.TryUpgrade(v, ThreadQNodes::Get(slot));
+    } else {
+      (void)slot;
+      ok = node->lock.TryUpgrade(v);
+    }
+    if (!ok) return false;
+    if (node->obsolete.load(std::memory_order_acquire)) {
+      ReleaseNode(node, slot);
+      return false;
+    }
+    return true;
+  }
+
+  void ReleaseNode(Node* node, int slot) {
+    if constexpr (kQueueBased) {
+      node->lock.ReleaseEx(ThreadQNodes::Get(slot));
+    } else {
+      (void)slot;
+      node->lock.ReleaseEx();
+    }
+  }
+
+  // --- Operation attempts (return true when finished, false to restart) ---
+
+  bool LookupAttempt(std::string_view key, uint64_t& out, bool* ok) const {
+    const Node* node = root_;
+    uint64_t v;
+    if (ReadLockNode(node, &v) != ReadResult::kOk) return false;
+    size_t level = 0;
+
+    while (true) {
+      const uint32_t matched = Nodes::MatchPrefix(node, key, level);
+      const uint8_t prefix_len = node->prefix_len;
+      if (!ValidateNode(node, v)) return false;
+      if (matched < prefix_len) {
+        *ok = false;  // Prefix mismatch: key absent.
+        return true;
+      }
+      level += prefix_len;
+      if (level >= key.size()) {
+        *ok = false;  // Key exhausted at an inner node.
+        return true;
+      }
+      void* child = Nodes::FindChild(node, static_cast<uint8_t>(key[level]));
+      if (!ValidateNode(node, v)) return false;
+      if (child == nullptr) {
+        *ok = false;
+        return true;
+      }
+      if (Nodes::IsLeaf(child)) {
+        const LeafRecord* leaf = Nodes::AsLeaf(child);
+        const bool match = Nodes::LeafMatches(leaf, key);
+        const uint64_t value = leaf->value.load(std::memory_order_relaxed);
+        if (!ValidateNode(node, v)) return false;
+        if (match) out = value;
+        *ok = match;
+        return true;
+      }
+      const Node* next = Nodes::AsNode(child);
+      uint64_t nv;
+      if (ReadLockNode(next, &nv) != ReadResult::kOk) return false;
+      if (!ValidateNode(node, v)) return false;
+      node = next;
+      v = nv;
+      ++level;  // The routing byte.
+    }
+  }
+
+  bool InsertAttempt(std::string_view key, uint64_t value, bool* ok) {
+    Node* parent = nullptr;
+    uint64_t pv = 0;
+    uint8_t parent_byte = 0;
+    Node* node = root_;
+    uint64_t v;
+    if (ReadLockNode(node, &v) != ReadResult::kOk) return false;
+    size_t level = 0;
+
+    while (true) {
+      const uint32_t matched = Nodes::MatchPrefix(node, key, level);
+      const uint8_t prefix_len = node->prefix_len;
+      if (!ValidateNode(node, v)) return false;
+
+      if (matched < prefix_len) {
+        // Split the compressed path: insert a Node4 above `node` holding
+        // the matched part, with `node` (truncated) and the new key's leaf
+        // as children. Requires parent + node exclusively.
+        OPTIQL_CHECK(parent != nullptr);  // Root has no prefix.
+        if (level + matched >= key.size()) {
+          *ok = false;  // Would make the key a proper prefix: unsupported.
+          return true;
+        }
+        if (!TryUpgradeNode(parent, pv, 1)) return false;
+        if (!TryUpgradeNode(node, v, 0)) {
+          ReleaseNode(parent, 1);
+          return false;
+        }
+
+        Node* split = Nodes::NewNode(NodeType::kNode4);
+        split->prefix_len = static_cast<uint8_t>(matched);
+        std::memcpy(split->prefix, node->prefix, matched);
+        const uint8_t node_route = node->prefix[matched];
+        // Truncate node's prefix past the split point + routing byte.
+        const uint8_t new_len =
+            static_cast<uint8_t>(prefix_len - matched - 1);
+        std::memmove(node->prefix, node->prefix + matched + 1, new_len);
+        node->prefix_len = new_len;
+
+        LeafRecord* leaf = Nodes::NewLeaf(key, value);
+        Nodes::AddChild(split, node_route, node);
+        // Lazy expansion: the new key's remaining bytes stay in the leaf.
+        Nodes::AddChild(split, static_cast<uint8_t>(key[level + matched]),
+                        Nodes::TagLeaf(leaf));
+        Nodes::ReplaceChild(parent, parent_byte, split);
+
+        size_.fetch_add(1, std::memory_order_acq_rel);
+        ReleaseNode(node, 0);  // Version bump fails overlapping readers.
+        ReleaseNode(parent, 1);
+        *ok = true;
+        return true;
+      }
+
+      level += prefix_len;
+      if (level >= key.size()) {
+        *ok = false;  // Key exhausted at an inner node: prefix violation.
+        return true;
+      }
+      const uint8_t byte = static_cast<uint8_t>(key[level]);
+      void* child = Nodes::FindChild(node, byte);
+      if (!ValidateNode(node, v)) return false;
+
+      if (child == nullptr) {
+        // Empty slot: add (possibly growing the node).
+        if (Nodes::IsNodeFull(node)) {
+          OPTIQL_CHECK(parent != nullptr);  // Root (Node256) is never full.
+          if (!TryUpgradeNode(parent, pv, 1)) return false;
+          if (!TryUpgradeNode(node, v, 0)) {
+            ReleaseNode(parent, 1);
+            return false;
+          }
+          Node* bigger = Nodes::GrowNode(node);
+          LeafRecord* leaf = Nodes::NewLeaf(key, value);
+          Nodes::AddChild(bigger, byte, Nodes::TagLeaf(leaf));  // Lazy.
+          Nodes::ReplaceChild(parent, parent_byte, bigger);
+          node->obsolete.store(true, std::memory_order_release);
+          size_.fetch_add(1, std::memory_order_acq_rel);
+          ReleaseNode(node, 0);
+          ReleaseNode(parent, 1);
+          Nodes::RetireNode(node);
+          *ok = true;
+          return true;
+        }
+        if (!TryUpgradeNode(node, v, 0)) return false;
+        // Re-check under the lock: a racer may have added the same byte.
+        if (Nodes::FindChild(node, byte) != nullptr) {
+          ReleaseNode(node, 0);
+          return false;
+        }
+        LeafRecord* leaf = Nodes::NewLeaf(key, value);
+        Nodes::AddChild(node, byte, Nodes::TagLeaf(leaf));  // Lazy.
+        size_.fetch_add(1, std::memory_order_acq_rel);
+        ReleaseNode(node, 0);
+        *ok = true;
+        return true;
+      }
+
+      if (Nodes::IsLeaf(child)) {
+        LeafRecord* existing = Nodes::AsLeaf(child);
+        // Epoch guard keeps `existing` alive even if a racer replaces it;
+        // validation below rejects stale decisions.
+        if (Nodes::LeafMatches(existing, key)) {
+          if (!ValidateNode(node, v)) return false;
+          *ok = false;  // Key already present.
+          return true;
+        }
+        // Diverging keys: replace the leaf with a subtree holding both.
+        const size_t max_common =
+            std::min<size_t>(existing->key_len, key.size());
+        size_t divergence = level + 1;
+        while (divergence < max_common &&
+               existing->key[divergence] ==
+                   static_cast<uint8_t>(key[divergence])) {
+          ++divergence;
+        }
+        if (divergence >= max_common) {
+          // One key is a prefix of the other: unsupported (prefix-free
+          // constraint). Validate to make sure the conclusion is real.
+          if (!ValidateNode(node, v)) return false;
+          *ok = false;
+          return true;
+        }
+        if (!TryUpgradeNode(node, v, 0)) return false;
+        if (Nodes::FindChild(node, byte) != child) {  // Raced: replaced.
+          ReleaseNode(node, 0);
+          return false;
+        }
+        void* merged = Nodes::BuildDivergingPath(existing, key, value,
+                                                 level + 1, divergence);
+        Nodes::ReplaceChild(node, byte, merged);
+        size_.fetch_add(1, std::memory_order_acq_rel);
+        ReleaseNode(node, 0);
+        *ok = true;
+        return true;
+      }
+
+      Node* next = Nodes::AsNode(child);
+      uint64_t nv;
+      if (ReadLockNode(next, &nv) != ReadResult::kOk) return false;
+      if (!ValidateNode(node, v)) return false;
+      parent = node;
+      pv = v;
+      parent_byte = byte;
+      node = next;
+      v = nv;
+      ++level;
+    }
+  }
+
+  bool UpdateAttempt(std::string_view key, uint64_t value, bool* ok) {
+    Node* parent = nullptr;
+    uint64_t pv = 0;
+    Node* node = root_;
+    uint64_t v;
+    if (ReadLockNode(node, &v) != ReadResult::kOk) return false;
+    size_t level = 0;
+
+    while (true) {
+      const uint32_t matched = Nodes::MatchPrefix(node, key, level);
+      const uint8_t prefix_len = node->prefix_len;
+      if (!ValidateNode(node, v)) return false;
+      if (matched < prefix_len || level + prefix_len >= key.size()) {
+        *ok = false;
+        return true;
+      }
+      level += prefix_len;
+      const uint8_t byte = static_cast<uint8_t>(key[level]);
+
+      // §6.2: at a fully materialized last level (the routing byte is the
+      // key's final byte), a queue-based policy takes the lock directly —
+      // the robust, collapse-free path.
+      if constexpr (kQueueBased) {
+        if (level + 1 == key.size()) {
+          return DirectLockUpdate(node, parent, pv, key, byte, value, ok);
+        }
+      }
+
+      void* child = Nodes::FindChild(node, byte);
+      if (!ValidateNode(node, v)) return false;
+      if (child == nullptr) {
+        *ok = false;
+        return true;
+      }
+      if (Nodes::IsLeaf(child)) {
+        LeafRecord* leaf = Nodes::AsLeaf(child);
+        if (!Nodes::LeafMatches(leaf, key)) {
+          if (!ValidateNode(node, v)) return false;
+          *ok = false;
+          return true;
+        }
+        // Lazily expanded leaf: promote the read to exclusive via upgrade
+        // (CAS), count contention, and possibly expand the path (§6.2).
+        if (!TryUpgradeNode(node, v, 0)) return false;
+        if (Nodes::FindChild(node, byte) != child) {
+          ReleaseNode(node, 0);
+          return false;
+        }
+        leaf->value.store(value, std::memory_order_relaxed);
+        if constexpr (kQueueBased) {
+          MaybeExpandOnContention(node, byte, leaf, level);
+        }
+        ReleaseNode(node, 0);
+        *ok = true;
+        return true;
+      }
+      Node* next = Nodes::AsNode(child);
+      uint64_t nv;
+      if (ReadLockNode(next, &nv) != ReadResult::kOk) return false;
+      if (!ValidateNode(node, v)) return false;
+      parent = node;
+      pv = v;
+      node = next;
+      v = nv;
+      ++level;
+    }
+  }
+
+  // Blocking, queue-based update of a last-level slot (OptiQL only).
+  // Returns true when the operation finished (with *ok set); false to
+  // restart from the root.
+  bool DirectLockUpdate(Node* node, Node* parent, uint64_t pv,
+                        std::string_view key, uint8_t byte, uint64_t value,
+                        bool* ok) {
+    node->lock.AcquireEx(ThreadQNodes::Get(0));
+    if (node->obsolete.load(std::memory_order_acquire)) {
+      ReleaseNode(node, 0);
+      return false;
+    }
+    // Validate the parent linkage the same way the B+-tree protocol does
+    // (Algorithm 4 step 3): if the path changed while queueing, retry.
+    if (parent != nullptr && !ValidateNode(parent, pv)) {
+      ReleaseNode(node, 0);
+      return false;
+    }
+    void* child = Nodes::FindChild(node, byte);
+    if (child == nullptr || !Nodes::IsLeaf(child)) {
+      ReleaseNode(node, 0);
+      *ok = false;
+      return true;
+    }
+    LeafRecord* leaf = Nodes::AsLeaf(child);
+    if (!Nodes::LeafMatches(leaf, key)) {
+      ReleaseNode(node, 0);
+      *ok = false;
+      return true;
+    }
+    leaf->value.store(value, std::memory_order_relaxed);
+    ReleaseNode(node, 0);
+    *ok = true;
+    return true;
+  }
+
+  // Called with `node` exclusively held after an upgrade-based update of a
+  // lazily-expanded leaf: probabilistically count the contention and, past
+  // the threshold, materialize the remaining path so future updates can
+  // take a last-level lock directly (§6.2 "contention expansion").
+  void MaybeExpandOnContention(Node* node, uint8_t byte, LeafRecord* leaf,
+                               size_t level) {
+    thread_local Xoshiro256 rng(0xC0117E57ULL ^
+                                reinterpret_cast<uintptr_t>(&rng));
+    if (rng.NextBounded(1000) >= kContentionSamplingPermille) return;
+    const uint32_t counter =
+        node->contention.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (counter < contention_threshold_) return;
+    node->contention.store(0, std::memory_order_relaxed);
+
+    // Materialize: replace the direct leaf pointer with a path whose last
+    // node holds the leaf under its final byte.
+    const size_t leaf_len = leaf->key_len;
+    if (level + 1 >= leaf_len) return;  // Routing byte is already final.
+    std::string_view leaf_key(reinterpret_cast<const char*>(leaf->key),
+                              leaf_len);
+    void* path = Nodes::BuildPathToLeaf(leaf_key, level, leaf);
+    Nodes::ReplaceChild(node, byte, path);
+    expansions_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  bool RemoveAttempt(std::string_view key, bool* ok) {
+    Node* parent = nullptr;
+    uint64_t pv = 0;
+    uint8_t parent_byte = 0;
+    Node* node = root_;
+    uint64_t v;
+    if (ReadLockNode(node, &v) != ReadResult::kOk) return false;
+    size_t level = 0;
+
+    while (true) {
+      const uint32_t matched = Nodes::MatchPrefix(node, key, level);
+      const uint8_t prefix_len = node->prefix_len;
+      if (!ValidateNode(node, v)) return false;
+      if (matched < prefix_len || level + prefix_len >= key.size()) {
+        *ok = false;
+        return true;
+      }
+      level += prefix_len;
+      const uint8_t byte = static_cast<uint8_t>(key[level]);
+      void* child = Nodes::FindChild(node, byte);
+      if (!ValidateNode(node, v)) return false;
+      if (child == nullptr) {
+        *ok = false;
+        return true;
+      }
+      if (Nodes::IsLeaf(child)) {
+        LeafRecord* leaf = Nodes::AsLeaf(child);
+        if (!Nodes::LeafMatches(leaf, key)) {
+          if (!ValidateNode(node, v)) return false;
+          *ok = false;
+          return true;
+        }
+        // Plan a node shrink if this removal leaves the node underfull
+        // (ART's adaptivity is symmetric: grow on insert, shrink on
+        // remove). Racy count read; re-checked under the locks.
+        const bool plan_shrink =
+            parent != nullptr &&
+            Nodes::ShrinkTarget(node->type,
+                                static_cast<uint16_t>(node->count - 1)) !=
+                node->type;
+        if (plan_shrink) {
+          if (!TryUpgradeNode(parent, pv, 1)) return false;
+          if (!TryUpgradeNode(node, v, 0)) {
+            ReleaseNode(parent, 1);
+            return false;
+          }
+          if (Nodes::FindChild(node, byte) != child) {
+            ReleaseNode(node, 0);
+            ReleaseNode(parent, 1);
+            return false;
+          }
+          Nodes::RemoveChild(node, byte);
+          size_.fetch_sub(1, std::memory_order_acq_rel);
+          const NodeType target =
+              Nodes::ShrinkTarget(node->type, node->count);
+          if (target != node->type) {
+            Node* smaller = Nodes::CopyToType(node, target);
+            Nodes::ReplaceChild(parent, parent_byte, smaller);
+            node->obsolete.store(true, std::memory_order_release);
+          }
+          ReleaseNode(node, 0);
+          ReleaseNode(parent, 1);
+          if (node->obsolete.load(std::memory_order_acquire)) {
+            Nodes::RetireNode(node);
+          }
+          Nodes::RetireLeaf(leaf);
+          *ok = true;
+          return true;
+        }
+        if (!TryUpgradeNode(node, v, 0)) return false;
+        if (Nodes::FindChild(node, byte) != child) {
+          ReleaseNode(node, 0);
+          return false;
+        }
+        Nodes::RemoveChild(node, byte);
+        size_.fetch_sub(1, std::memory_order_acq_rel);
+        ReleaseNode(node, 0);
+        Nodes::RetireLeaf(leaf);
+        *ok = true;
+        return true;
+      }
+      Node* next = Nodes::AsNode(child);
+      uint64_t nv;
+      if (ReadLockNode(next, &nv) != ReadResult::kOk) return false;
+      if (!ValidateNode(node, v)) return false;
+      parent = node;
+      pv = v;
+      parent_byte = byte;
+      node = next;
+      v = nv;
+      ++level;
+    }
+  }
+
+  static void CensusSubtree(const Node* node, std::array<size_t, 4>* counts) {
+    ++(*counts)[static_cast<size_t>(node->type)];
+    Nodes::ForEachChild(node, [&](uint8_t, void* child) {
+      if (!Nodes::IsLeaf(child)) CensusSubtree(Nodes::AsNode(child), counts);
+    });
+  }
+
+  const uint32_t contention_threshold_ = 1024;
+  Node* const root_;
+  std::atomic<size_t> size_{0};
+  std::atomic<uint64_t> expansions_{0};
+};
+
+}  // namespace optiql
+
+#endif  // OPTIQL_INDEX_ART_H_

@@ -1,0 +1,315 @@
+// ART with traditional pessimistic lock coupling — the reader-writer-lock
+// baselines for the trie experiments (paper §7.1, Figure 9 bottom):
+// every node carries an MCS-RW or pthread (std::shared_mutex) lock.
+//
+//   * Readers couple shared locks top-down: lock child, release parent.
+//   * Writers couple exclusive locks top-down, holding at most the
+//     (parent, node) pair: all structural changes (prefix split, node
+//     growth, leaf fork) modify either `node` itself or `node`'s slot in
+//     `parent`, both of which are held.
+//
+// Because every access path to a node goes through its (locked) parent and
+// node replacement happens with both held exclusively, replaced nodes can
+// be freed immediately — no epochs needed, unlike the optimistic ArtTree.
+//
+// Lock ordering is strictly top-down on a tree, so the protocol is
+// deadlock-free. The fixed Node256 root never has a prefix and never grows,
+// which removes every root special case.
+#ifndef OPTIQL_INDEX_ART_COUPLING_H_
+#define OPTIQL_INDEX_ART_COUPLING_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+
+#include "common/check.h"
+#include "index/art_nodes.h"
+#include "locks/mcs_rw_lock.h"
+#include "locks/pessimistic_ops.h"
+#include "workload/key_generator.h"
+
+namespace optiql {
+
+template <class RwLock = McsRwLock>
+class ArtCouplingTree {
+ public:
+  using Lock = RwLock;
+
+  ArtCouplingTree() : root_(Nodes::NewNode(NodeType::kNode256)) {}
+
+  ~ArtCouplingTree() { Nodes::FreeSubtree(root_); }
+
+  ArtCouplingTree(const ArtCouplingTree&) = delete;
+  ArtCouplingTree& operator=(const ArtCouplingTree&) = delete;
+
+  // --- Byte-string key interface (same contract as ArtTree) ---
+
+  bool Insert(std::string_view key, uint64_t value) {
+    // Hold (parent, node) exclusively while descending; all mutations
+    // target that pair.
+    Node* parent = nullptr;
+    int parent_slot = 1;
+    uint8_t parent_byte = 0;
+    Node* node = root_;
+    int slot = 0;
+    POps::AcquireEx(node->lock, slot);
+    size_t level = 0;
+
+    while (true) {
+      const uint32_t matched = Nodes::MatchPrefix(node, key, level);
+      if (matched < node->prefix_len) {
+        // Prefix split (requires parent, which the coupling still holds;
+        // the root has no prefix so parent != null here).
+        OPTIQL_CHECK(parent != nullptr);
+        if (level + matched >= key.size()) {
+          return FinishWrite(parent, parent_slot, node, slot, false);
+        }
+        Node* split = Nodes::NewNode(NodeType::kNode4);
+        split->prefix_len = static_cast<uint8_t>(matched);
+        std::memcpy(split->prefix, node->prefix, matched);
+        const uint8_t node_route = node->prefix[matched];
+        const uint8_t new_len =
+            static_cast<uint8_t>(node->prefix_len - matched - 1);
+        std::memmove(node->prefix, node->prefix + matched + 1, new_len);
+        node->prefix_len = new_len;
+
+        typename Nodes::LeafRecord* leaf = Nodes::NewLeaf(key, value);
+        Nodes::AddChild(split, node_route, node);
+        Nodes::AddChild(split, static_cast<uint8_t>(key[level + matched]),
+                        Nodes::TagLeaf(leaf));
+        Nodes::ReplaceChild(parent, parent_byte, split);
+        size_.fetch_add(1, std::memory_order_acq_rel);
+        return FinishWrite(parent, parent_slot, node, slot, true);
+      }
+      level += node->prefix_len;
+      if (level >= key.size()) {
+        return FinishWrite(parent, parent_slot, node, slot, false);
+      }
+      const uint8_t byte = static_cast<uint8_t>(key[level]);
+      void* child = Nodes::FindChild(node, byte);
+
+      if (child == nullptr) {
+        if (Nodes::IsNodeFull(node)) {
+          OPTIQL_CHECK(parent != nullptr);  // Root never fills.
+          Node* bigger = Nodes::GrowNode(node);
+          typename Nodes::LeafRecord* leaf = Nodes::NewLeaf(key, value);
+          Nodes::AddChild(bigger, byte, Nodes::TagLeaf(leaf));
+          Nodes::ReplaceChild(parent, parent_byte, bigger);
+          size_.fetch_add(1, std::memory_order_acq_rel);
+          FinishWrite(parent, parent_slot, node, slot, true);
+          // Safe to free immediately: all paths to `node` go through the
+          // parent we held exclusively.
+          Nodes::DeleteNode(node);
+          return true;
+        }
+        typename Nodes::LeafRecord* leaf = Nodes::NewLeaf(key, value);
+        Nodes::AddChild(node, byte, Nodes::TagLeaf(leaf));
+        size_.fetch_add(1, std::memory_order_acq_rel);
+        return FinishWrite(parent, parent_slot, node, slot, true);
+      }
+
+      if (Nodes::IsLeaf(child)) {
+        typename Nodes::LeafRecord* existing = Nodes::AsLeaf(child);
+        if (Nodes::LeafMatches(existing, key)) {
+          return FinishWrite(parent, parent_slot, node, slot, false);
+        }
+        const size_t max_common =
+            std::min<size_t>(existing->key_len, key.size());
+        size_t divergence = level + 1;
+        while (divergence < max_common &&
+               existing->key[divergence] ==
+                   static_cast<uint8_t>(key[divergence])) {
+          ++divergence;
+        }
+        if (divergence >= max_common) {  // Prefix-free violation.
+          return FinishWrite(parent, parent_slot, node, slot, false);
+        }
+        void* merged = Nodes::BuildDivergingPath(existing, key, value,
+                                                 level + 1, divergence);
+        Nodes::ReplaceChild(node, byte, merged);
+        size_.fetch_add(1, std::memory_order_acq_rel);
+        return FinishWrite(parent, parent_slot, node, slot, true);
+      }
+
+      // Inner child: couple downward. Release the old parent first (its
+      // role is over), lock the child, then shift the window.
+      if (parent != nullptr) POps::ReleaseEx(parent->lock, parent_slot);
+      Node* next = Nodes::AsNode(child);
+      const int next_slot = 1 - slot;
+      POps::AcquireEx(next->lock, next_slot);
+      parent = node;
+      parent_slot = slot;
+      parent_byte = byte;
+      node = next;
+      slot = next_slot;
+      ++level;
+    }
+  }
+
+  bool Update(std::string_view key, uint64_t value) {
+    // Updates only touch the leaf record under its owning node's lock:
+    // simple exclusive coupling with a single held lock.
+    Node* node = root_;
+    int slot = 0;
+    POps::AcquireEx(node->lock, slot);
+    size_t level = 0;
+    while (true) {
+      const uint32_t matched = Nodes::MatchPrefix(node, key, level);
+      if (matched < node->prefix_len ||
+          level + node->prefix_len >= key.size()) {
+        POps::ReleaseEx(node->lock, slot);
+        return false;
+      }
+      level += node->prefix_len;
+      const uint8_t byte = static_cast<uint8_t>(key[level]);
+      void* child = Nodes::FindChild(node, byte);
+      if (child == nullptr) {
+        POps::ReleaseEx(node->lock, slot);
+        return false;
+      }
+      if (Nodes::IsLeaf(child)) {
+        typename Nodes::LeafRecord* leaf = Nodes::AsLeaf(child);
+        const bool match = Nodes::LeafMatches(leaf, key);
+        if (match) leaf->value.store(value, std::memory_order_relaxed);
+        POps::ReleaseEx(node->lock, slot);
+        return match;
+      }
+      Node* next = Nodes::AsNode(child);
+      const int next_slot = 1 - slot;
+      POps::AcquireEx(next->lock, next_slot);
+      POps::ReleaseEx(node->lock, slot);
+      node = next;
+      slot = next_slot;
+      ++level;
+    }
+  }
+
+  bool Lookup(std::string_view key, uint64_t& out) const {
+    const Node* node = root_;
+    int slot = 0;
+    POps::AcquireSh(const_cast<Node*>(node)->lock, slot);
+    size_t level = 0;
+    while (true) {
+      const uint32_t matched = Nodes::MatchPrefix(node, key, level);
+      if (matched < node->prefix_len ||
+          level + node->prefix_len >= key.size()) {
+        POps::ReleaseSh(const_cast<Node*>(node)->lock, slot);
+        return false;
+      }
+      level += node->prefix_len;
+      const uint8_t byte = static_cast<uint8_t>(key[level]);
+      void* child = Nodes::FindChild(node, byte);
+      if (child == nullptr) {
+        POps::ReleaseSh(const_cast<Node*>(node)->lock, slot);
+        return false;
+      }
+      if (Nodes::IsLeaf(child)) {
+        const typename Nodes::LeafRecord* leaf = Nodes::AsLeaf(child);
+        const bool match = Nodes::LeafMatches(leaf, key);
+        if (match) out = leaf->value.load(std::memory_order_relaxed);
+        POps::ReleaseSh(const_cast<Node*>(node)->lock, slot);
+        return match;
+      }
+      const Node* next = Nodes::AsNode(child);
+      const int next_slot = 1 - slot;
+      POps::AcquireSh(const_cast<Node*>(next)->lock, next_slot);
+      POps::ReleaseSh(const_cast<Node*>(node)->lock, slot);
+      node = next;
+      slot = next_slot;
+      ++level;
+    }
+  }
+
+  bool Remove(std::string_view key) {
+    Node* node = root_;
+    int slot = 0;
+    POps::AcquireEx(node->lock, slot);
+    size_t level = 0;
+    while (true) {
+      const uint32_t matched = Nodes::MatchPrefix(node, key, level);
+      if (matched < node->prefix_len ||
+          level + node->prefix_len >= key.size()) {
+        POps::ReleaseEx(node->lock, slot);
+        return false;
+      }
+      level += node->prefix_len;
+      const uint8_t byte = static_cast<uint8_t>(key[level]);
+      void* child = Nodes::FindChild(node, byte);
+      if (child == nullptr) {
+        POps::ReleaseEx(node->lock, slot);
+        return false;
+      }
+      if (Nodes::IsLeaf(child)) {
+        typename Nodes::LeafRecord* leaf = Nodes::AsLeaf(child);
+        if (!Nodes::LeafMatches(leaf, key)) {
+          POps::ReleaseEx(node->lock, slot);
+          return false;
+        }
+        Nodes::RemoveChild(node, byte);
+        size_.fetch_sub(1, std::memory_order_acq_rel);
+        POps::ReleaseEx(node->lock, slot);
+        Nodes::FreeLeaf(leaf);  // No optimistic readers in this variant.
+        return true;
+      }
+      Node* next = Nodes::AsNode(child);
+      const int next_slot = 1 - slot;
+      POps::AcquireEx(next->lock, next_slot);
+      POps::ReleaseEx(node->lock, slot);
+      node = next;
+      slot = next_slot;
+      ++level;
+    }
+  }
+
+  // --- Fixed 8-byte integer key convenience (big-endian encoded) ---
+
+  bool InsertInt(uint64_t key, uint64_t value) {
+    const uint64_t be = ToBigEndian(key);
+    return Insert({reinterpret_cast<const char*>(&be), 8}, value);
+  }
+  bool UpdateInt(uint64_t key, uint64_t value) {
+    const uint64_t be = ToBigEndian(key);
+    return Update({reinterpret_cast<const char*>(&be), 8}, value);
+  }
+  bool LookupInt(uint64_t key, uint64_t& out) const {
+    const uint64_t be = ToBigEndian(key);
+    return Lookup({reinterpret_cast<const char*>(&be), 8}, out);
+  }
+  bool RemoveInt(uint64_t key) {
+    const uint64_t be = ToBigEndian(key);
+    return Remove({reinterpret_cast<const char*>(&be), 8});
+  }
+
+  size_t Size() const { return size_.load(std::memory_order_acquire); }
+
+  // Interface parity with ArtTree (this variant never expands).
+  uint64_t ContentionExpansions() const { return 0; }
+
+  void CheckInvariants() const {
+    size_t leaves = 0;
+    uint8_t key_buffer[512];
+    Nodes::CheckSubtree(root_, key_buffer, 0, &leaves);
+    OPTIQL_CHECK(leaves == Size());
+  }
+
+ private:
+  using Nodes = ArtNodes<RwLock>;
+  using Node = typename Nodes::Node;
+  using NodeType = typename Nodes::NodeType;
+  using POps = internal::PessimisticOps<RwLock>;
+
+  // Releases the held (parent, node) window and forwards the result.
+  bool FinishWrite(Node* parent, int parent_slot, Node* node, int slot,
+                   bool result) {
+    POps::ReleaseEx(node->lock, slot);
+    if (parent != nullptr) POps::ReleaseEx(parent->lock, parent_slot);
+    return result;
+  }
+
+  Node* const root_;
+  std::atomic<size_t> size_{0};
+};
+
+}  // namespace optiql
+
+#endif  // OPTIQL_INDEX_ART_COUPLING_H_

@@ -1,0 +1,526 @@
+// Node machinery shared by both ART implementations (optimistic `ArtTree`
+// in art.h, pessimistic `ArtCouplingTree` in art_coupling.h): adaptive node
+// types Node4/16/48/256, tagged leaf pointers to (key, value) records,
+// capped path-compression prefixes, and the per-type child operations.
+//
+// Everything is templated on the per-node lock type so each tree variant
+// embeds the lock it needs without paying for the others.
+#ifndef OPTIQL_INDEX_ART_NODES_H_
+#define OPTIQL_INDEX_ART_NODES_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string_view>
+
+#include "common/check.h"
+#include "common/platform.h"
+#include "sync/epoch.h"
+
+namespace optiql {
+
+// Maximum number of path-compression bytes stored per node. Longer common
+// prefixes become chains of Node4s (see art.h header comment).
+inline constexpr size_t kArtMaxPrefix = 12;
+
+template <class Lock>
+struct ArtNodes {
+  enum class NodeType : uint8_t { kNode4, kNode16, kNode48, kNode256 };
+
+  struct LeafRecord {
+    std::atomic<uint64_t> value;
+    uint32_t key_len;
+    uint8_t key[];  // key_len bytes.
+  };
+
+  struct Node {
+    Lock lock;
+    std::atomic<uint32_t> contention{0};
+    uint16_t count = 0;
+    NodeType type;
+    uint8_t prefix_len = 0;
+    uint8_t prefix[kArtMaxPrefix];
+    std::atomic<bool> obsolete{false};
+  };
+
+  struct Node4 : Node {
+    uint8_t keys[4];
+    void* children[4];
+  };
+  struct Node16 : Node {
+    uint8_t keys[16];
+    void* children[16];
+  };
+  struct Node48 : Node {
+    static constexpr uint8_t kEmpty = 0xFF;
+    uint8_t child_index[256];
+    void* children[48];
+  };
+  struct Node256 : Node {
+    void* children[256];
+  };
+
+  // --- Tagged pointers ---
+
+  static bool IsLeaf(void* ptr) {
+    return (reinterpret_cast<uintptr_t>(ptr) & 1) != 0;
+  }
+  static LeafRecord* AsLeaf(void* ptr) {
+    return reinterpret_cast<LeafRecord*>(reinterpret_cast<uintptr_t>(ptr) &
+                                         ~uintptr_t{1});
+  }
+  static void* TagLeaf(LeafRecord* leaf) {
+    return reinterpret_cast<void*>(reinterpret_cast<uintptr_t>(leaf) | 1);
+  }
+  static Node* AsNode(void* ptr) { return static_cast<Node*>(ptr); }
+
+  static LeafRecord* NewLeaf(std::string_view key, uint64_t value) {
+    void* mem = std::malloc(sizeof(LeafRecord) + key.size());
+    OPTIQL_CHECK(mem != nullptr);
+    auto* leaf = new (mem) LeafRecord;
+    leaf->value.store(value, std::memory_order_relaxed);
+    leaf->key_len = static_cast<uint32_t>(key.size());
+    std::memcpy(leaf->key, key.data(), key.size());
+    return leaf;
+  }
+
+  static void FreeLeaf(LeafRecord* leaf) { std::free(leaf); }
+
+  static Node* NewNode(NodeType type) {
+    Node* node = nullptr;
+    switch (type) {
+      case NodeType::kNode4:
+        node = new Node4();
+        break;
+      case NodeType::kNode16:
+        node = new Node16();
+        break;
+      case NodeType::kNode48: {
+        auto* n48 = new Node48();
+        std::memset(n48->child_index, Node48::kEmpty,
+                    sizeof(n48->child_index));
+        std::memset(n48->children, 0, sizeof(n48->children));
+        node = n48;
+        break;
+      }
+      case NodeType::kNode256: {
+        auto* n256 = new Node256();
+        std::memset(n256->children, 0, sizeof(n256->children));
+        node = n256;
+        break;
+      }
+    }
+    node->type = type;
+    return node;
+  }
+
+  static void DeleteNode(Node* node) {
+    switch (node->type) {
+      case NodeType::kNode4:
+        delete static_cast<Node4*>(node);
+        break;
+      case NodeType::kNode16:
+        delete static_cast<Node16*>(node);
+        break;
+      case NodeType::kNode48:
+        delete static_cast<Node48*>(node);
+        break;
+      case NodeType::kNode256:
+        delete static_cast<Node256*>(node);
+        break;
+    }
+  }
+
+  static void RetireNode(Node* node) {
+    EpochManager::Instance().Retire(node, [](void* p) {
+      DeleteNode(static_cast<Node*>(p));
+    });
+  }
+
+  static void RetireLeaf(LeafRecord* leaf) {
+    EpochManager::Instance().Retire(leaf, [](void* p) { std::free(p); });
+  }
+
+  // --- Per-type child operations (caller holds the node's write lock, or
+  // tolerates racy results and validates afterwards). ---
+  //
+  // GCC's -Warray-bounds cannot correlate the `type` tag with the
+  // allocation site after inlining NewNode, so it flags the (dynamically
+  // unreachable) larger-type branches as out-of-bounds. Suppress locally.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Warray-bounds"
+
+  static void* FindChild(const Node* node, uint8_t byte) {
+    switch (node->type) {
+      case NodeType::kNode4: {
+        const auto* n = static_cast<const Node4*>(node);
+        const uint16_t count = n->count <= 4 ? n->count : 4;
+        for (uint16_t i = 0; i < count; ++i) {
+          if (n->keys[i] == byte) return n->children[i];
+        }
+        return nullptr;
+      }
+      case NodeType::kNode16: {
+        const auto* n = static_cast<const Node16*>(node);
+        const uint16_t count = n->count <= 16 ? n->count : 16;
+        for (uint16_t i = 0; i < count; ++i) {
+          if (n->keys[i] == byte) return n->children[i];
+        }
+        return nullptr;
+      }
+      case NodeType::kNode48: {
+        const auto* n = static_cast<const Node48*>(node);
+        const uint8_t slot = n->child_index[byte];
+        return slot == Node48::kEmpty ? nullptr
+                                      : n->children[slot < 48 ? slot : 0];
+      }
+      case NodeType::kNode256: {
+        return static_cast<const Node256*>(node)->children[byte];
+      }
+    }
+    return nullptr;
+  }
+
+  static bool IsNodeFull(const Node* node) {
+    switch (node->type) {
+      case NodeType::kNode4:
+        return node->count >= 4;
+      case NodeType::kNode16:
+        return node->count >= 16;
+      case NodeType::kNode48:
+        return node->count >= 48;
+      case NodeType::kNode256:
+        return false;
+    }
+    return false;
+  }
+
+  // Adds a child; node must not be full. Publication order (child, key,
+  // count) keeps racy readers memory-safe; correctness comes from
+  // validation.
+  static void AddChild(Node* node, uint8_t byte, void* child) {
+    switch (node->type) {
+      case NodeType::kNode4: {
+        auto* n = static_cast<Node4*>(node);
+        n->children[n->count] = child;
+        n->keys[n->count] = byte;
+        ++n->count;
+        break;
+      }
+      case NodeType::kNode16: {
+        auto* n = static_cast<Node16*>(node);
+        n->children[n->count] = child;
+        n->keys[n->count] = byte;
+        ++n->count;
+        break;
+      }
+      case NodeType::kNode48: {
+        auto* n = static_cast<Node48*>(node);
+        uint8_t slot = 0;
+        while (n->children[slot] != nullptr) ++slot;
+        n->children[slot] = child;
+        n->child_index[byte] = slot;
+        ++n->count;
+        break;
+      }
+      case NodeType::kNode256: {
+        auto* n = static_cast<Node256*>(node);
+        n->children[byte] = child;
+        ++n->count;
+        break;
+      }
+    }
+  }
+
+  // Replaces the child routed by `byte` (must exist).
+  static void ReplaceChild(Node* node, uint8_t byte, void* child) {
+    switch (node->type) {
+      case NodeType::kNode4: {
+        auto* n = static_cast<Node4*>(node);
+        for (uint16_t i = 0; i < n->count; ++i) {
+          if (n->keys[i] == byte) {
+            n->children[i] = child;
+            return;
+          }
+        }
+        break;
+      }
+      case NodeType::kNode16: {
+        auto* n = static_cast<Node16*>(node);
+        for (uint16_t i = 0; i < n->count; ++i) {
+          if (n->keys[i] == byte) {
+            n->children[i] = child;
+            return;
+          }
+        }
+        break;
+      }
+      case NodeType::kNode48: {
+        auto* n = static_cast<Node48*>(node);
+        n->children[n->child_index[byte]] = child;
+        return;
+      }
+      case NodeType::kNode256: {
+        static_cast<Node256*>(node)->children[byte] = child;
+        return;
+      }
+    }
+    OPTIQL_CHECK(false);  // Child must exist.
+  }
+
+  static void RemoveChild(Node* node, uint8_t byte) {
+    switch (node->type) {
+      case NodeType::kNode4: {
+        auto* n = static_cast<Node4*>(node);
+        for (uint16_t i = 0; i < n->count; ++i) {
+          if (n->keys[i] == byte) {
+            for (uint16_t j = i; j + 1 < n->count; ++j) {
+              n->keys[j] = n->keys[j + 1];
+              n->children[j] = n->children[j + 1];
+            }
+            --n->count;
+            return;
+          }
+        }
+        break;
+      }
+      case NodeType::kNode16: {
+        auto* n = static_cast<Node16*>(node);
+        for (uint16_t i = 0; i < n->count; ++i) {
+          if (n->keys[i] == byte) {
+            for (uint16_t j = i; j + 1 < n->count; ++j) {
+              n->keys[j] = n->keys[j + 1];
+              n->children[j] = n->children[j + 1];
+            }
+            --n->count;
+            return;
+          }
+        }
+        break;
+      }
+      case NodeType::kNode48: {
+        auto* n = static_cast<Node48*>(node);
+        const uint8_t slot = n->child_index[byte];
+        if (slot != Node48::kEmpty) {
+          n->children[slot] = nullptr;
+          n->child_index[byte] = Node48::kEmpty;
+          --n->count;
+          return;
+        }
+        break;
+      }
+      case NodeType::kNode256: {
+        auto* n = static_cast<Node256*>(node);
+        if (n->children[byte] != nullptr) {
+          n->children[byte] = nullptr;
+          --n->count;
+          return;
+        }
+        break;
+      }
+    }
+    OPTIQL_CHECK(false);  // Child must exist.
+  }
+
+  // Copies all children of `node` into a fresh node of the given type
+  // (same prefix). The target type must have room for node->count children.
+  static Node* CopyToType(const Node* node, NodeType type) {
+    Node* fresh = NewNode(type);
+    fresh->prefix_len = node->prefix_len;
+    std::memcpy(fresh->prefix, node->prefix, node->prefix_len);
+    ForEachChild(node, [&](uint8_t byte, void* child) {
+      AddChild(fresh, byte, child);
+    });
+    return fresh;
+  }
+
+  // Copies all children of `node` into a fresh, larger node (same prefix).
+  static Node* GrowNode(Node* node) {
+    NodeType bigger = NodeType::kNode256;
+    switch (node->type) {
+      case NodeType::kNode4:
+        bigger = NodeType::kNode16;
+        break;
+      case NodeType::kNode16:
+        bigger = NodeType::kNode48;
+        break;
+      case NodeType::kNode48:
+        bigger = NodeType::kNode256;
+        break;
+      case NodeType::kNode256:
+        OPTIQL_CHECK(false);  // Node256 never grows.
+    }
+    return CopyToType(node, bigger);
+  }
+
+  // The next smaller node type a node with `count` children (after a
+  // pending removal) can shrink into, or nullopt-style: the same type when
+  // no shrink applies. Thresholds sit below the smaller type's capacity so
+  // an insert right after a shrink does not immediately grow again.
+  static NodeType ShrinkTarget(NodeType type, uint16_t count) {
+    switch (type) {
+      case NodeType::kNode16:
+        return count <= 3 ? NodeType::kNode4 : type;
+      case NodeType::kNode48:
+        return count <= 12 ? NodeType::kNode16 : type;
+      case NodeType::kNode256:
+        return count <= 40 ? NodeType::kNode48 : type;
+      case NodeType::kNode4:
+        return type;
+    }
+    return type;
+  }
+
+  template <class F>
+  static void ForEachChild(const Node* node, F&& f) {
+    switch (node->type) {
+      case NodeType::kNode4: {
+        const auto* n = static_cast<const Node4*>(node);
+        for (uint16_t i = 0; i < n->count; ++i) f(n->keys[i], n->children[i]);
+        break;
+      }
+      case NodeType::kNode16: {
+        const auto* n = static_cast<const Node16*>(node);
+        for (uint16_t i = 0; i < n->count; ++i) f(n->keys[i], n->children[i]);
+        break;
+      }
+      case NodeType::kNode48: {
+        const auto* n = static_cast<const Node48*>(node);
+        for (int byte = 0; byte < 256; ++byte) {
+          const uint8_t slot = n->child_index[byte];
+          if (slot != Node48::kEmpty) {
+            f(static_cast<uint8_t>(byte), n->children[slot]);
+          }
+        }
+        break;
+      }
+      case NodeType::kNode256: {
+        const auto* n = static_cast<const Node256*>(node);
+        for (int byte = 0; byte < 256; ++byte) {
+          if (n->children[byte] != nullptr) {
+            f(static_cast<uint8_t>(byte), n->children[byte]);
+          }
+        }
+        break;
+      }
+    }
+  }
+
+#pragma GCC diagnostic pop
+
+  // --- Prefix handling ---
+
+  // Compares `key` at `level` against the node's stored prefix. Returns the
+  // number of matching bytes (== prefix_len on full match).
+  static uint32_t MatchPrefix(const Node* node, std::string_view key,
+                              size_t level) {
+    const uint32_t prefix_len =
+        node->prefix_len <= kArtMaxPrefix ? node->prefix_len : kArtMaxPrefix;
+    uint32_t i = 0;
+    for (; i < prefix_len; ++i) {
+      if (level + i >= key.size() ||
+          static_cast<uint8_t>(key[level + i]) != node->prefix[i]) {
+        break;
+      }
+    }
+    return i;
+  }
+
+  static bool LeafMatches(const LeafRecord* leaf, std::string_view key) {
+    return leaf->key_len == key.size() &&
+           std::memcmp(leaf->key, key.data(), key.size()) == 0;
+  }
+
+  // Wraps `below` in chained Node4s so the returned subtree consumes key
+  // positions [start, route_pos]: the bottom link routes key[route_pos] to
+  // `below`; compressed prefixes (capped at kArtMaxPrefix per link) cover
+  // the rest. Requires start <= route_pos.
+  static void* ChainAbove(std::string_view key, size_t start,
+                          size_t route_pos, void* below) {
+    while (true) {
+      const size_t prefix_len = std::min(kArtMaxPrefix, route_pos - start);
+      const size_t prefix_begin = route_pos - prefix_len;
+      Node* link = NewNode(NodeType::kNode4);
+      link->prefix_len = static_cast<uint8_t>(prefix_len);
+      std::memcpy(link->prefix, key.data() + prefix_begin, prefix_len);
+      AddChild(link, static_cast<uint8_t>(key[route_pos]), below);
+      below = link;
+      if (prefix_begin == start) return below;
+      route_pos = prefix_begin - 1;  // The byte that routes into `link`.
+    }
+  }
+
+  // Builds the (possibly chained) path for the key suffix *after* the
+  // routing byte key[level]; the final byte routes to the leaf inside the
+  // bottom node. Returns the subtree to store in the caller's key[level]
+  // slot (the tagged leaf itself when key[level] is the final byte — lazy
+  // expansion).
+  static void* BuildPathToLeaf(std::string_view key, size_t level,
+                               LeafRecord* leaf) {
+    OPTIQL_CHECK(level < key.size());
+    if (level + 1 == key.size()) return TagLeaf(leaf);
+    return ChainAbove(key, level + 1, key.size() - 1, TagLeaf(leaf));
+  }
+
+  // Builds the subtree for two diverging keys. `suffix_begin` is the first
+  // uncovered byte (just after the routing byte into the replaced slot);
+  // `divergence` is the first byte where the keys differ.
+  static void* BuildDivergingPath(LeafRecord* existing, std::string_view key,
+                                  uint64_t value, size_t suffix_begin,
+                                  size_t divergence) {
+    // Fork node: routes existing vs new key by their divergent byte, with
+    // the *last* (up to kArtMaxPrefix) common bytes as its prefix; any
+    // common bytes above that are covered by chained Node4s.
+    Node* fork = NewNode(NodeType::kNode4);
+    const size_t common = divergence - suffix_begin;
+    const size_t fork_prefix = std::min(common, kArtMaxPrefix);
+    const size_t fork_prefix_begin = divergence - fork_prefix;
+    fork->prefix_len = static_cast<uint8_t>(fork_prefix);
+    std::memcpy(fork->prefix, key.data() + fork_prefix_begin, fork_prefix);
+
+    LeafRecord* fresh = NewLeaf(key, value);
+    // Lazy expansion: each leaf keeps its remaining bytes to itself.
+    AddChild(fork, existing->key[divergence], TagLeaf(existing));
+    AddChild(fork, static_cast<uint8_t>(key[divergence]), TagLeaf(fresh));
+
+    if (fork_prefix_begin == suffix_begin) return fork;
+    return ChainAbove(key, suffix_begin, fork_prefix_begin - 1, fork);
+  }
+
+  // --- Whole-subtree maintenance (single-threaded) ---
+
+  static void FreeSubtree(Node* node) {
+    ForEachChild(node, [&](uint8_t, void* child) {
+      if (IsLeaf(child)) {
+        FreeLeaf(AsLeaf(child));
+      } else {
+        FreeSubtree(AsNode(child));
+      }
+    });
+    DeleteNode(node);
+  }
+
+  static void CheckSubtree(const Node* node, uint8_t* key_buffer,
+                           size_t level, size_t* leaves) {
+    OPTIQL_CHECK(level + node->prefix_len < 500);
+    std::memcpy(key_buffer + level, node->prefix, node->prefix_len);
+    const size_t base = level + node->prefix_len;
+    ForEachChild(node, [&](uint8_t byte, void* child) {
+      key_buffer[base] = byte;
+      if (IsLeaf(child)) {
+        const LeafRecord* leaf = AsLeaf(child);
+        OPTIQL_CHECK(leaf->key_len >= base + 1);
+        OPTIQL_CHECK(std::memcmp(leaf->key, key_buffer, base + 1) == 0);
+        ++*leaves;
+      } else {
+        CheckSubtree(AsNode(child), key_buffer, base + 1, leaves);
+      }
+    });
+  }
+};
+
+}  // namespace optiql
+
+#endif  // OPTIQL_INDEX_ART_NODES_H_

@@ -1,0 +1,1104 @@
+// Memory-optimized B+-tree in the BTreeOLC style (Leis & Wang; paper §6.1),
+// parameterized over the node size and the synchronization policy:
+//
+//   * BTreeOlcPolicy            — classic optimistic lock coupling with the
+//                                 centralized OptLock everywhere (baseline).
+//   * BTreeOptiQlPolicy<L,AOR>  — the paper's adapted protocol (Algorithm
+//                                 4): inner nodes keep OptLock, leaves use
+//                                 OptiQL (or OptiQL-NOR); writers lock the
+//                                 leaf *directly* instead of upgrading, then
+//                                 validate the parent. With AOR the
+//                                 opportunistic-read window inherited during
+//                                 handover stays open through the in-leaf
+//                                 search (§6.1 last paragraph).
+//   * BTreeCouplingPolicy<L>    — traditional pessimistic lock coupling for
+//                                 reader-writer locks (MCS-RW, pthread).
+//
+// Structural decisions (all standard for memory-optimized B+-trees):
+//   * Small nodes (default 256 bytes, Figure 11 sweeps 256B..16KB).
+//   * Eager top-down splits: a full node is split while descending, so a
+//     writer holds at most two locks and SMOs never propagate upwards.
+//   * Deletes remove keys in place without structural merges (BTreeOLC
+//     semantics); inner nodes therefore never lose children and node memory
+//     is reclaimed only at tree destruction.
+//
+// Concurrency discipline for optimistic readers: a value read from a node
+// (child pointer, key, count) may be torn by a concurrent writer; it is
+// therefore *never dereferenced or trusted* until the node's version has
+// been re-validated. Counts are additionally clamped to the node capacity
+// so even torn reads stay in bounds.
+#ifndef OPTIQL_INDEX_BTREE_H_
+#define OPTIQL_INDEX_BTREE_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/platform.h"
+#include "core/optiql.h"
+#include "locks/mcs_rw_lock.h"
+#include "locks/optlock.h"
+#include "locks/pessimistic_ops.h"
+#include "locks/shared_mutex_lock.h"
+#include "qnode/qnode_pool.h"
+
+namespace optiql {
+
+enum class BTreeProtocol { kOlc, kOptiQl, kCoupling };
+
+struct BTreeOlcPolicy {
+  static constexpr BTreeProtocol kProtocol = BTreeProtocol::kOlc;
+  static constexpr bool kAdjustableOpRead = false;
+  using InnerLock = OptLock;
+  using LeafLock = OptLock;
+};
+
+template <class QlLock, bool kAor = false>
+struct BTreeOptiQlPolicy {
+  static constexpr BTreeProtocol kProtocol = BTreeProtocol::kOptiQl;
+  static constexpr bool kAdjustableOpRead = kAor;
+  using InnerLock = OptLock;
+  using LeafLock = QlLock;
+};
+
+template <class RwLock>
+struct BTreeCouplingPolicy {
+  static constexpr BTreeProtocol kProtocol = BTreeProtocol::kCoupling;
+  static constexpr bool kAdjustableOpRead = false;
+  using InnerLock = RwLock;
+  using LeafLock = RwLock;
+};
+
+template <class Key, class Value, class SyncPolicy = BTreeOlcPolicy,
+          size_t kNodeBytes = 256>
+class BTree {
+ public:
+  static constexpr BTreeProtocol kProtocol = SyncPolicy::kProtocol;
+  static constexpr bool kAor = SyncPolicy::kAdjustableOpRead;
+  using InnerLock = typename SyncPolicy::InnerLock;
+  using LeafLock = typename SyncPolicy::LeafLock;
+
+  BTree() { root_.store(new Leaf(), std::memory_order_release); }
+
+  ~BTree() { FreeSubtree(root_.load(std::memory_order_acquire)); }
+
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+
+  // Inserts (key, value). Returns false (no change) if the key exists.
+  bool Insert(const Key& key, const Value& value) {
+    return Write(key, &value, WriteKind::kInsert);
+  }
+
+  // Updates the value of an existing key; false if the key is absent.
+  bool Update(const Key& key, const Value& value) {
+    return Write(key, &value, WriteKind::kUpdate);
+  }
+
+  // Inserts or updates.
+  void Upsert(const Key& key, const Value& value) {
+    Write(key, &value, WriteKind::kUpsert);
+  }
+
+  // Removes the key; false if absent. No structural merges.
+  bool Remove(const Key& key) {
+    return Write(key, nullptr, WriteKind::kRemove);
+  }
+
+  // Point lookup; copies the value into `out`.
+  bool Lookup(const Key& key, Value& out) const {
+    if constexpr (kProtocol == BTreeProtocol::kCoupling) {
+      return LookupCoupling(key, out);
+    } else {
+      return LookupOptimistic(key, out);
+    }
+  }
+
+  // Ascending range scan starting at `start` (inclusive); copies up to
+  // `limit` pairs into `out`. Returns the number copied.
+  size_t Scan(const Key& start, size_t limit,
+              std::vector<std::pair<Key, Value>>& out) const {
+    out.clear();
+    if (limit == 0) return 0;
+    if constexpr (kProtocol == BTreeProtocol::kCoupling) {
+      return ScanCoupling(start, limit, out);
+    } else {
+      return ScanOptimistic(start, limit, out);
+    }
+  }
+
+  // Bottom-up bulk load of sorted, unique (key, value) pairs into an EMPTY
+  // tree. Not thread-safe (call before sharing the tree). Leaves are filled
+  // to ~90% so the first trickle of inserts does not split everywhere at
+  // once. Aborts if the tree is non-empty or the input is not strictly
+  // ascending.
+  void BulkLoad(const std::vector<std::pair<Key, Value>>& pairs) {
+    OPTIQL_CHECK(Size() == 0);
+    if (pairs.empty()) return;
+    const uint16_t per_leaf =
+        std::max<uint16_t>(1, static_cast<uint16_t>(kLeafMax * 9 / 10));
+
+    std::vector<NodeBase*> level_nodes;
+    std::vector<Key> level_keys;  // Minimum key of each node after [0].
+    Leaf* prev = nullptr;
+    for (size_t i = 0; i < pairs.size();) {
+      Leaf* leaf = new Leaf();
+      const size_t take = std::min<size_t>(per_leaf, pairs.size() - i);
+      for (size_t j = 0; j < take; ++j) {
+        if (i + j > 0) {
+          OPTIQL_CHECK(pairs[i + j - 1].first < pairs[i + j].first);
+        }
+        leaf->keys[j] = pairs[i + j].first;
+        leaf->values[j] = pairs[i + j].second;
+      }
+      leaf->count = static_cast<uint16_t>(take);
+      if (prev != nullptr) prev->next = leaf;
+      prev = leaf;
+      if (!level_nodes.empty()) level_keys.push_back(leaf->keys[0]);
+      level_nodes.push_back(leaf);
+      i += take;
+    }
+    size_.store(pairs.size(), std::memory_order_release);
+
+    // Build inner levels until a single root remains.
+    uint16_t level = 1;
+    const uint16_t per_inner =
+        std::max<uint16_t>(2, static_cast<uint16_t>(kInnerMax * 9 / 10));
+    while (level_nodes.size() > 1) {
+      std::vector<NodeBase*> upper_nodes;
+      std::vector<Key> upper_keys;
+      for (size_t i = 0; i < level_nodes.size();) {
+        Inner* inner = new Inner(level);
+        size_t children =
+            std::min<size_t>(per_inner + 1u, level_nodes.size() - i);
+        // Never leave a single orphan child for the next inner node.
+        if (level_nodes.size() - i - children == 1) --children;
+        inner->children[0] = level_nodes[i];
+        for (size_t j = 1; j < children; ++j) {
+          inner->keys[j - 1] = level_keys[i + j - 1];
+          inner->children[j] = level_nodes[i + j];
+        }
+        inner->count = static_cast<uint16_t>(children - 1);
+        if (!upper_nodes.empty()) upper_keys.push_back(level_keys[i - 1]);
+        upper_nodes.push_back(inner);
+        i += children;
+      }
+      level_nodes.swap(upper_nodes);
+      level_keys.swap(upper_keys);
+      ++level;
+    }
+    NodeBase* old_root = root_.load(std::memory_order_acquire);
+    root_.store(level_nodes[0], std::memory_order_release);
+    FreeSubtree(old_root);  // The initial empty leaf.
+  }
+
+  // Number of live keys (exact when quiescent).
+  size_t Size() const { return size_.load(std::memory_order_acquire); }
+
+  int Height() const {
+    return root_.load(std::memory_order_acquire)->level + 1;
+  }
+
+  // Single-threaded structural check for tests: sortedness, separator
+  // bounds, level consistency and key count. Aborts on violation.
+  void CheckInvariants() const {
+    size_t keys = 0;
+    CheckSubtree(root_.load(std::memory_order_acquire), nullptr, nullptr,
+                 &keys);
+    OPTIQL_CHECK(keys == Size());
+  }
+
+  static constexpr size_t LeafCapacity();
+  static constexpr size_t InnerCapacity();
+
+  // Operation statistics (relaxed counters; exact when quiescent). Restarts
+  // quantify the optimistic protocols' wasted work under contention — the
+  // paper's CAS-retry-storm story in numbers.
+  struct Stats {
+    uint64_t read_restarts;
+    uint64_t write_restarts;
+    uint64_t leaf_splits;
+    uint64_t inner_splits;
+  };
+
+  Stats GetStats() const {
+    return Stats{read_restarts_.load(std::memory_order_relaxed),
+                 write_restarts_.load(std::memory_order_relaxed),
+                 leaf_splits_.load(std::memory_order_relaxed),
+                 inner_splits_.load(std::memory_order_relaxed)};
+  }
+
+  void ResetStats() {
+    read_restarts_.store(0, std::memory_order_relaxed);
+    write_restarts_.store(0, std::memory_order_relaxed);
+    leaf_splits_.store(0, std::memory_order_relaxed);
+    inner_splits_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  // Accumulates (attempts - 1) restarts into a stats counter on scope exit.
+  class RestartCounter {
+   public:
+    explicit RestartCounter(std::atomic<uint64_t>& sink) : sink_(sink) {}
+    ~RestartCounter() {
+      if (attempts_ > 1) {
+        sink_.fetch_add(attempts_ - 1, std::memory_order_relaxed);
+      }
+    }
+    void Tick() { ++attempts_; }
+
+   private:
+    std::atomic<uint64_t>& sink_;
+    uint64_t attempts_ = 0;
+  };
+
+  enum class WriteKind { kInsert, kUpdate, kUpsert, kRemove };
+
+  struct NodeBase {
+    uint16_t level;  // 0 = leaf.
+    uint16_t count;  // Entries; racy reads are clamped by users.
+  };
+
+  struct Inner;
+
+  struct Leaf : NodeBase {
+    LeafLock lock;
+    Leaf* next = nullptr;  // Right sibling (for scans).
+
+    static constexpr size_t kHeader =
+        sizeof(NodeBase) + sizeof(LeafLock) + sizeof(Leaf*);
+    static constexpr size_t kMax =
+        (kNodeBytes > kHeader + sizeof(Key) + sizeof(Value))
+            ? (kNodeBytes - kHeader) / (sizeof(Key) + sizeof(Value))
+            : 2;
+
+    Key keys[kMax];
+    Value values[kMax];
+
+    Leaf() {
+      this->level = 0;
+      this->count = 0;
+    }
+
+    // First position with keys[pos] >= key.
+    uint16_t LowerBound(const Key& key, uint16_t n) const {
+      uint16_t lo = 0, hi = n;
+      while (lo < hi) {
+        const uint16_t mid = static_cast<uint16_t>((lo + hi) / 2);
+        if (keys[mid] < key) {
+          lo = static_cast<uint16_t>(mid + 1);
+        } else {
+          hi = mid;
+        }
+      }
+      return lo;
+    }
+  };
+
+  struct Inner : NodeBase {
+    InnerLock lock;
+
+    static constexpr size_t kHeader = sizeof(NodeBase) + sizeof(InnerLock);
+    // `count` keys and `count + 1` children must fit. Floor of 3: splitting
+    // an inner with fewer than 3 keys would leave the right sibling with
+    // none (mid = count/2 keys stay, one moves up, count - mid - 1 move).
+    static constexpr size_t kMaxRaw =
+        (kNodeBytes > kHeader + sizeof(Key) + 2 * sizeof(void*))
+            ? (kNodeBytes - kHeader - sizeof(void*)) /
+                  (sizeof(Key) + sizeof(void*))
+            : 3;
+    static constexpr size_t kMax = kMaxRaw < 3 ? 3 : kMaxRaw;
+
+    Key keys[kMax];
+    NodeBase* children[kMax + 1];
+
+    explicit Inner(uint16_t lvl) {
+      this->level = lvl;
+      this->count = 0;
+    }
+
+    // Child index to follow for `key`: first separator > key.
+    uint16_t ChildIndex(const Key& key, uint16_t n) const {
+      uint16_t lo = 0, hi = n;
+      while (lo < hi) {
+        const uint16_t mid = static_cast<uint16_t>((lo + hi) / 2);
+        if (keys[mid] <= key) {
+          lo = static_cast<uint16_t>(mid + 1);
+        } else {
+          hi = mid;
+        }
+      }
+      return lo;
+    }
+
+    void InsertAt(uint16_t pos, const Key& separator, NodeBase* right) {
+      for (uint16_t i = this->count; i > pos; --i) {
+        keys[i] = keys[i - 1];
+        children[i + 1] = children[i];
+      }
+      keys[pos] = separator;
+      children[pos + 1] = right;
+      ++this->count;
+    }
+  };
+
+  static constexpr uint16_t kLeafMax = static_cast<uint16_t>(Leaf::kMax);
+  static constexpr uint16_t kInnerMax = static_cast<uint16_t>(Inner::kMax);
+  static_assert(Leaf::kMax >= 2 && Inner::kMax >= 3,
+                "node geometry too small to split safely");
+
+  static bool IsLeaf(const NodeBase* node) { return node->level == 0; }
+  static Leaf* AsLeaf(NodeBase* node) { return static_cast<Leaf*>(node); }
+  static Inner* AsInner(NodeBase* node) { return static_cast<Inner*>(node); }
+  static const Leaf* AsLeaf(const NodeBase* node) {
+    return static_cast<const Leaf*>(node);
+  }
+  static const Inner* AsInner(const NodeBase* node) {
+    return static_cast<const Inner*>(node);
+  }
+
+  // Clamped count for racy reads.
+  static uint16_t LoadCount(const NodeBase* node, uint16_t max) {
+    const uint16_t n = node->count;
+    return n > max ? max : n;
+  }
+
+  // --- Optimistic read-lock helpers (OLC and OptiQL protocols) ---
+  //
+  // ReadLock spins until the lock admits readers and returns the snapshot;
+  // Validate re-checks it. Works for both OptLock and OptiQL since they
+  // share the AcquireSh/ReleaseSh interface.
+
+  template <class Lock>
+  static uint64_t ReadLock(const Lock& lock) {
+    uint64_t v;
+    SpinWait wait;
+    while (!lock.AcquireSh(v)) wait.Spin();
+    return v;
+  }
+
+  template <class Lock>
+  static bool Validate(const Lock& lock, uint64_t v) {
+    return lock.ReleaseSh(v);
+  }
+
+  // --- Optimistic traversal ---
+
+  bool LookupOptimistic(const Key& key, Value& out) const {
+    RestartCounter restarts(read_restarts_);
+    while (true) {
+      restarts.Tick();
+      NodeBase* node = root_.load(std::memory_order_acquire);
+      uint64_t v;
+      if (IsLeaf(node)) {
+        v = ReadLock(AsLeaf(node)->lock);
+      } else {
+        v = ReadLock(AsInner(node)->lock);
+      }
+      if (node != root_.load(std::memory_order_acquire)) continue;
+
+      bool restart = false;
+      while (!IsLeaf(node)) {
+        const Inner* inner = AsInner(node);
+        const uint16_t n = LoadCount(inner, kInnerMax);
+        NodeBase* child = inner->children[inner->ChildIndex(key, n)];
+        if (!Validate(inner->lock, v)) {
+          restart = true;
+          break;
+        }
+        // `child` is now trustworthy; read its version, then re-validate
+        // the parent so the two reads are mutually consistent.
+        uint64_t cv;
+        if (IsLeaf(child)) {
+          cv = ReadLock(AsLeaf(child)->lock);
+        } else {
+          cv = ReadLock(AsInner(child)->lock);
+        }
+        if (!Validate(inner->lock, v)) {
+          restart = true;
+          break;
+        }
+        node = child;
+        v = cv;
+      }
+      if (restart) continue;
+
+      const Leaf* leaf = AsLeaf(node);
+      const uint16_t n = LoadCount(leaf, kLeafMax);
+      const uint16_t pos = leaf->LowerBound(key, n);
+      bool found = false;
+      Value value{};
+      if (pos < n && leaf->keys[pos] == key) {
+        found = true;
+        value = leaf->values[pos];
+      }
+      if (!Validate(leaf->lock, v)) continue;
+      if (found) out = value;
+      return found;
+    }
+  }
+
+  size_t ScanOptimistic(const Key& start, size_t limit,
+                        std::vector<std::pair<Key, Value>>& out) const {
+    RestartCounter restarts(read_restarts_);
+    while (true) {
+      restarts.Tick();
+      out.clear();
+      // Descend to the first candidate leaf.
+      NodeBase* node = root_.load(std::memory_order_acquire);
+      uint64_t v;
+      if (IsLeaf(node)) {
+        v = ReadLock(AsLeaf(node)->lock);
+      } else {
+        v = ReadLock(AsInner(node)->lock);
+      }
+      if (node != root_.load(std::memory_order_acquire)) continue;
+
+      bool restart = false;
+      while (!IsLeaf(node)) {
+        const Inner* inner = AsInner(node);
+        const uint16_t n = LoadCount(inner, kInnerMax);
+        NodeBase* child = inner->children[inner->ChildIndex(start, n)];
+        if (!Validate(inner->lock, v)) {
+          restart = true;
+          break;
+        }
+        uint64_t cv;
+        if (IsLeaf(child)) {
+          cv = ReadLock(AsLeaf(child)->lock);
+        } else {
+          cv = ReadLock(AsInner(child)->lock);
+        }
+        if (!Validate(inner->lock, v)) {
+          restart = true;
+          break;
+        }
+        node = child;
+        v = cv;
+      }
+      if (restart) continue;
+
+      // Walk the leaf chain, copying validated batches.
+      const Leaf* leaf = AsLeaf(node);
+      bool failed = false;
+      while (leaf != nullptr && out.size() < limit) {
+        const uint16_t n = LoadCount(leaf, kLeafMax);
+        std::pair<Key, Value> batch[Leaf::kMax];
+        uint16_t batch_size = 0;
+        for (uint16_t i = leaf->LowerBound(start, n);
+             i < n; ++i) {
+          batch[batch_size++] = {leaf->keys[i], leaf->values[i]};
+        }
+        const Leaf* next = leaf->next;
+        if (!Validate(leaf->lock, v)) {
+          failed = true;
+          break;
+        }
+        for (uint16_t i = 0; i < batch_size && out.size() < limit; ++i) {
+          out.push_back(batch[i]);
+        }
+        if (next == nullptr || out.size() >= limit) break;
+        v = ReadLock(next->lock);
+        leaf = next;
+      }
+      if (failed) continue;
+      return out.size();
+    }
+  }
+
+  // --- Pessimistic (coupling) traversal ---
+
+  using POps = internal::PessimisticOps<InnerLock>;
+
+  bool LookupCoupling(const Key& key, Value& out) const {
+    while (true) {
+      NodeBase* node = root_.load(std::memory_order_acquire);
+      int slot = 0;
+      LockOf(node, /*shared=*/true, slot);
+      if (node != root_.load(std::memory_order_acquire)) {
+        UnlockOf(node, /*shared=*/true, slot);
+        continue;
+      }
+      while (!IsLeaf(node)) {
+        Inner* inner = AsInner(node);
+        NodeBase* child =
+            inner->children[inner->ChildIndex(key, inner->count)];
+        const int child_slot = 1 - slot;
+        LockOf(child, /*shared=*/true, child_slot);
+        UnlockOf(node, /*shared=*/true, slot);
+        node = child;
+        slot = child_slot;
+      }
+      Leaf* leaf = AsLeaf(node);
+      const uint16_t pos = leaf->LowerBound(key, leaf->count);
+      const bool found = pos < leaf->count && leaf->keys[pos] == key;
+      if (found) out = leaf->values[pos];
+      UnlockOf(node, /*shared=*/true, slot);
+      return found;
+    }
+  }
+
+  size_t ScanCoupling(const Key& start, size_t limit,
+                      std::vector<std::pair<Key, Value>>& out) const {
+    while (true) {
+      NodeBase* node = root_.load(std::memory_order_acquire);
+      int slot = 0;
+      LockOf(node, /*shared=*/true, slot);
+      if (node != root_.load(std::memory_order_acquire)) {
+        UnlockOf(node, /*shared=*/true, slot);
+        continue;
+      }
+      while (!IsLeaf(node)) {
+        Inner* inner = AsInner(node);
+        NodeBase* child =
+            inner->children[inner->ChildIndex(start, inner->count)];
+        const int child_slot = 1 - slot;
+        LockOf(child, /*shared=*/true, child_slot);
+        UnlockOf(node, /*shared=*/true, slot);
+        node = child;
+        slot = child_slot;
+      }
+      Leaf* leaf = AsLeaf(node);
+      while (leaf != nullptr && out.size() < limit) {
+        for (uint16_t i = leaf->LowerBound(start, leaf->count);
+             i < leaf->count && out.size() < limit; ++i) {
+          out.push_back({leaf->keys[i], leaf->values[i]});
+        }
+        Leaf* next = leaf->next;
+        if (next == nullptr || out.size() >= limit) break;
+        const int next_slot = 1 - slot;
+        POps::AcquireSh(next->lock, next_slot);
+        POps::ReleaseSh(leaf->lock, slot);
+        leaf = next;
+        slot = next_slot;
+      }
+      POps::ReleaseSh(leaf->lock, slot);
+      return out.size();
+    }
+  }
+
+  void LockOf(NodeBase* node, bool shared, int slot) const {
+    if (IsLeaf(node)) {
+      if (shared) {
+        POps::AcquireSh(AsLeaf(node)->lock, slot);
+      } else {
+        POps::AcquireEx(AsLeaf(node)->lock, slot);
+      }
+    } else {
+      if (shared) {
+        POps::AcquireSh(AsInner(node)->lock, slot);
+      } else {
+        POps::AcquireEx(AsInner(node)->lock, slot);
+      }
+    }
+  }
+
+  void UnlockOf(NodeBase* node, bool shared, int slot) const {
+    if (IsLeaf(node)) {
+      if (shared) {
+        POps::ReleaseSh(AsLeaf(node)->lock, slot);
+      } else {
+        POps::ReleaseEx(AsLeaf(node)->lock, slot);
+      }
+    } else {
+      if (shared) {
+        POps::ReleaseSh(AsInner(node)->lock, slot);
+      } else {
+        POps::ReleaseEx(AsInner(node)->lock, slot);
+      }
+    }
+  }
+
+  // --- Write paths ---
+
+  bool Write(const Key& key, const Value* value, WriteKind kind) {
+    if constexpr (kProtocol == BTreeProtocol::kCoupling) {
+      return WriteCoupling(key, value, kind);
+    } else {
+      return WriteOptimistic(key, value, kind);
+    }
+  }
+
+  // Shared by OLC and OptiQL protocols: optimistic descent with eager
+  // inner-node splits (OptLock-style upgrades on inner nodes), then a
+  // protocol-specific leaf step.
+  bool WriteOptimistic(const Key& key, const Value* value, WriteKind kind) {
+    RestartCounter restarts(write_restarts_);
+    while (true) {
+      restarts.Tick();
+      NodeBase* node = root_.load(std::memory_order_acquire);
+      uint64_t v;
+      if (IsLeaf(node)) {
+        v = ReadLock(AsLeaf(node)->lock);
+      } else {
+        v = ReadLock(AsInner(node)->lock);
+      }
+      if (node != root_.load(std::memory_order_acquire)) continue;
+
+      Inner* parent = nullptr;
+      uint64_t pv = 0;
+      bool restart = false;
+
+      while (!IsLeaf(node)) {
+        Inner* inner = AsInner(node);
+        // Eager split keeps the instability scope at parent+node.
+        if (NeedsSplitForWrite(kind) && inner->count == kInnerMax) {
+          if (!SplitInnerEagerly(parent, pv, inner, v)) {
+            restart = true;
+            break;
+          }
+          restart = true;  // Structure changed; re-traverse.
+          break;
+        }
+        const uint16_t n = LoadCount(inner, kInnerMax);
+        NodeBase* child = inner->children[inner->ChildIndex(key, n)];
+        if (!Validate(inner->lock, v)) {
+          restart = true;
+          break;
+        }
+        uint64_t cv;
+        if (IsLeaf(child)) {
+          cv = ReadLock(AsLeaf(child)->lock);
+        } else {
+          cv = ReadLock(AsInner(child)->lock);
+        }
+        if (!Validate(inner->lock, v)) {
+          restart = true;
+          break;
+        }
+        parent = inner;
+        pv = v;
+        node = child;
+        v = cv;
+      }
+      if (restart) continue;
+
+      bool result = false;
+      LeafWriteStatus status;
+      if constexpr (kProtocol == BTreeProtocol::kOptiQl) {
+        status = LeafWriteOptiQl(AsLeaf(node), parent, pv, key, value, kind,
+                                 &result);
+      } else {
+        status = LeafWriteOlc(AsLeaf(node), v, parent, pv, key, value, kind,
+                              &result);
+      }
+      if (status == LeafWriteStatus::kRestart) continue;
+      return result;
+    }
+  }
+
+  enum class LeafWriteStatus { kDone, kRestart };
+
+  static constexpr bool NeedsSplitForWrite(WriteKind kind) {
+    return kind == WriteKind::kInsert || kind == WriteKind::kUpsert;
+  }
+
+  // Splits a full inner node while descending (OLC): upgrade parent (or
+  // verify we own the root), upgrade the node, split, then restart.
+  // Returns false if any lock step failed (caller restarts either way).
+  bool SplitInnerEagerly(Inner* parent, uint64_t pv, Inner* inner,
+                         uint64_t v) {
+    if (parent != nullptr) {
+      if (!parent->lock.TryUpgrade(pv)) return false;
+    }
+    if (!inner->lock.TryUpgrade(v)) {
+      if (parent != nullptr) parent->lock.ReleaseEx();
+      return false;
+    }
+    if (parent == nullptr &&
+        root_.load(std::memory_order_acquire) != inner) {
+      inner->lock.ReleaseEx();
+      return false;
+    }
+    if (parent != nullptr && parent->count == kInnerMax) {
+      // Parent filled up since we passed it; retry from the top (it will be
+      // split eagerly on the next descent).
+      parent->lock.ReleaseEx();
+      inner->lock.ReleaseEx();
+      return false;
+    }
+
+    inner_splits_.fetch_add(1, std::memory_order_relaxed);
+    // Move the upper half to a new right sibling; middle key moves up.
+    const uint16_t mid = inner->count / 2;
+    const Key separator = inner->keys[mid];
+    Inner* right = new Inner(inner->level);
+    right->count = static_cast<uint16_t>(inner->count - mid - 1);
+    for (uint16_t i = 0; i < right->count; ++i) {
+      right->keys[i] = inner->keys[mid + 1 + i];
+    }
+    for (uint16_t i = 0; i <= right->count; ++i) {
+      right->children[i] = inner->children[mid + 1 + i];
+    }
+    inner->count = mid;
+
+    PublishSplit(parent, inner, right, separator);
+    if (parent != nullptr) parent->lock.ReleaseEx();
+    inner->lock.ReleaseEx();
+    return true;
+  }
+
+  // Inserts (separator, right) into `parent`, or grows a new root when
+  // `parent` is null. Caller holds `left` (and `parent` if present)
+  // exclusively and has verified root identity when parent is null.
+  void PublishSplit(Inner* parent, NodeBase* left, NodeBase* right,
+                    const Key& separator) {
+    if (parent != nullptr) {
+      parent->InsertAt(parent->ChildIndex(separator, parent->count),
+                       separator, right);
+      return;
+    }
+    Inner* new_root = new Inner(static_cast<uint16_t>(left->level + 1));
+    new_root->count = 1;
+    new_root->keys[0] = separator;
+    new_root->children[0] = left;
+    new_root->children[1] = right;
+    root_.store(new_root, std::memory_order_release);
+  }
+
+  // OLC leaf step: upgrade from the observed version (CAS); on any failure
+  // the operation restarts from the root (paper §6.1's description of the
+  // original protocol).
+  LeafWriteStatus LeafWriteOlc(Leaf* leaf, uint64_t v, Inner* parent,
+                               uint64_t pv, const Key& key,
+                               const Value* value, WriteKind kind,
+                               bool* result) {
+    if (NeedsSplitForWrite(kind) && leaf->count == kLeafMax) {
+      if (parent != nullptr) {
+        if (!parent->lock.TryUpgrade(pv)) return LeafWriteStatus::kRestart;
+      }
+      if (!leaf->lock.TryUpgrade(v)) {
+        if (parent != nullptr) parent->lock.ReleaseEx();
+        return LeafWriteStatus::kRestart;
+      }
+      if (parent == nullptr &&
+          root_.load(std::memory_order_acquire) != leaf) {
+        leaf->lock.ReleaseEx();
+        return LeafWriteStatus::kRestart;
+      }
+      if (parent != nullptr && parent->count == kInnerMax) {
+        parent->lock.ReleaseEx();
+        leaf->lock.ReleaseEx();
+        return LeafWriteStatus::kRestart;
+      }
+      *result = SplitLeafAndApply(leaf, parent, key, value, kind);
+      if (parent != nullptr) parent->lock.ReleaseEx();
+      leaf->lock.ReleaseEx();
+      return LeafWriteStatus::kDone;
+    }
+
+    if (!leaf->lock.TryUpgrade(v)) return LeafWriteStatus::kRestart;
+    *result = ApplyToLeaf(leaf, key, value, kind);
+    leaf->lock.ReleaseEx();
+    return LeafWriteStatus::kDone;
+  }
+
+  // OptiQL leaf step (paper Algorithm 4): lock the leaf *directly* with the
+  // queue-based lock, then validate the parent; no upgrade, no re-search
+  // after waiting in the queue.
+  LeafWriteStatus LeafWriteOptiQl(Leaf* leaf, Inner* parent, uint64_t pv,
+                                  const Key& key, const Value* value,
+                                  WriteKind kind, bool* result) {
+    QNode* qnode = ThreadQNodes::Get(0);
+    if constexpr (kAor) {
+      leaf->lock.AcquireExDeferred(qnode);
+    } else {
+      leaf->lock.AcquireEx(qnode);
+    }
+    auto abort = [&] {
+      if constexpr (kAor) leaf->lock.FinishAcquireEx(qnode);
+      leaf->lock.ReleaseEx(qnode);
+      return LeafWriteStatus::kRestart;
+    };
+    // The leaf may have been split/emptied while we waited in the queue;
+    // the parent's version tells us (step 3 of the adapted protocol).
+    if (parent != nullptr) {
+      if (!Validate(parent->lock, pv)) return abort();
+    } else if (root_.load(std::memory_order_acquire) != leaf) {
+      return abort();
+    }
+
+    if (NeedsSplitForWrite(kind) && leaf->count == kLeafMax) {
+      if constexpr (kAor) leaf->lock.FinishAcquireEx(qnode);
+      if (parent != nullptr) {
+        if (!parent->lock.TryUpgrade(pv)) {
+          leaf->lock.ReleaseEx(qnode);
+          return LeafWriteStatus::kRestart;
+        }
+        if (parent->count == kInnerMax) {
+          parent->lock.ReleaseEx();
+          leaf->lock.ReleaseEx(qnode);
+          return LeafWriteStatus::kRestart;
+        }
+      }
+      *result = SplitLeafAndApply(leaf, parent, key, value, kind);
+      if (parent != nullptr) parent->lock.ReleaseEx();
+      leaf->lock.ReleaseEx(qnode);
+      return LeafWriteStatus::kDone;
+    }
+
+    if constexpr (kAor) {
+      // AOR: opportunistic readers stay admitted through the (read-only)
+      // in-leaf search; close the window only before modifying.
+      const uint16_t n = leaf->count;
+      const uint16_t pos = leaf->LowerBound(key, n);
+      leaf->lock.FinishAcquireEx(qnode);
+      *result = ApplyToLeafAt(leaf, pos, key, value, kind);
+    } else {
+      *result = ApplyToLeaf(leaf, key, value, kind);
+    }
+    leaf->lock.ReleaseEx(qnode);
+    return LeafWriteStatus::kDone;
+  }
+
+  // Splits an exclusively-locked full leaf (parent exclusively locked or
+  // root ownership verified), then applies the pending write to the correct
+  // half. Returns the operation result.
+  bool SplitLeafAndApply(Leaf* leaf, Inner* parent, const Key& key,
+                         const Value* value, WriteKind kind) {
+    leaf_splits_.fetch_add(1, std::memory_order_relaxed);
+    const uint16_t mid = leaf->count / 2;
+    Leaf* right = new Leaf();
+    right->count = static_cast<uint16_t>(leaf->count - mid);
+    for (uint16_t i = 0; i < right->count; ++i) {
+      right->keys[i] = leaf->keys[mid + i];
+      right->values[i] = leaf->values[mid + i];
+    }
+    leaf->count = mid;
+    right->next = leaf->next;
+    leaf->next = right;
+    const Key separator = right->keys[0];
+    PublishSplit(parent, leaf, right, separator);
+    Leaf* target = key < separator ? leaf : right;
+    return ApplyToLeaf(target, key, value, kind);
+  }
+
+  bool ApplyToLeaf(Leaf* leaf, const Key& key, const Value* value,
+                   WriteKind kind) {
+    const uint16_t pos = leaf->LowerBound(key, leaf->count);
+    return ApplyToLeafAt(leaf, pos, key, value, kind);
+  }
+
+  bool ApplyToLeafAt(Leaf* leaf, uint16_t pos, const Key& key,
+                     const Value* value, WriteKind kind) {
+    const bool exists =
+        pos < leaf->count && leaf->keys[pos] == key;
+    switch (kind) {
+      case WriteKind::kInsert:
+        if (exists) return false;
+        InsertIntoLeaf(leaf, pos, key, *value);
+        return true;
+      case WriteKind::kUpdate:
+        if (!exists) return false;
+        leaf->values[pos] = *value;
+        return true;
+      case WriteKind::kUpsert:
+        if (exists) {
+          leaf->values[pos] = *value;
+        } else {
+          InsertIntoLeaf(leaf, pos, key, *value);
+        }
+        return true;
+      case WriteKind::kRemove:
+        if (!exists) return false;
+        for (uint16_t i = pos; i + 1 < leaf->count; ++i) {
+          leaf->keys[i] = leaf->keys[i + 1];
+          leaf->values[i] = leaf->values[i + 1];
+        }
+        --leaf->count;
+        size_.fetch_sub(1, std::memory_order_acq_rel);
+        return true;
+    }
+    return false;
+  }
+
+  void InsertIntoLeaf(Leaf* leaf, uint16_t pos, const Key& key,
+                      const Value& value) {
+    OPTIQL_CHECK(leaf->count < kLeafMax);
+    for (uint16_t i = leaf->count; i > pos; --i) {
+      leaf->keys[i] = leaf->keys[i - 1];
+      leaf->values[i] = leaf->values[i - 1];
+    }
+    leaf->keys[pos] = key;
+    leaf->values[pos] = value;
+    ++leaf->count;
+    size_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  // --- Pessimistic write path: exclusive top-down coupling with eager
+  // splits (at most two exclusive locks held). ---
+
+  bool WriteCoupling(const Key& key, const Value* value, WriteKind kind) {
+    while (true) {
+      NodeBase* node = root_.load(std::memory_order_acquire);
+      int slot = 0;
+      LockOf(node, /*shared=*/false, slot);
+      if (node != root_.load(std::memory_order_acquire)) {
+        UnlockOf(node, /*shared=*/false, slot);
+        continue;
+      }
+
+      // Split a full root first so descending splits always have a parent.
+      // The key may now belong to the new right sibling, which is only
+      // reachable through the new root, so re-traverse.
+      if (NeedsSplitForWrite(kind) && IsFull(node)) {
+        SplitChildOfNothing(node);
+        UnlockOf(node, /*shared=*/false, slot);
+        continue;
+      }
+
+      while (!IsLeaf(node)) {
+        Inner* inner = AsInner(node);
+        uint16_t idx = inner->ChildIndex(key, inner->count);
+        NodeBase* child = inner->children[idx];
+        const int child_slot = 1 - slot;
+        LockOf(child, /*shared=*/false, child_slot);
+        if (NeedsSplitForWrite(kind) && IsFull(child)) {
+          NodeBase* right = SplitChild(inner, child);
+          // Re-route: the key may belong to the new right node.
+          idx = inner->ChildIndex(key, inner->count);
+          NodeBase* target = inner->children[idx];
+          if (target != child) {
+            UnlockOf(child, /*shared=*/false, child_slot);
+            LockOf(target, /*shared=*/false, child_slot);
+            child = target;
+          }
+          (void)right;
+        }
+        UnlockOf(node, /*shared=*/false, slot);
+        node = child;
+        slot = child_slot;
+      }
+
+      Leaf* leaf = AsLeaf(node);
+      const bool result = ApplyToLeaf(leaf, key, value, kind);
+      UnlockOf(node, /*shared=*/false, slot);
+      return result;
+    }
+  }
+
+  bool IsFull(const NodeBase* node) const {
+    return IsLeaf(node) ? node->count == kLeafMax : node->count == kInnerMax;
+  }
+
+  // Splits the (exclusively locked) root into a new root. The old root
+  // remains locked; the new root is published immediately (safe: concurrent
+  // operations re-check root identity after locking).
+  void SplitChildOfNothing(NodeBase* old_root) {
+    NodeBase* right;
+    Key separator;
+    SplitNode(old_root, &right, &separator);
+    PublishSplit(nullptr, old_root, right, separator);
+  }
+
+  // Splits `child` (both `parent` and `child` exclusively locked).
+  NodeBase* SplitChild(Inner* parent, NodeBase* child) {
+    NodeBase* right;
+    Key separator;
+    SplitNode(child, &right, &separator);
+    PublishSplit(parent, child, right, separator);
+    return right;
+  }
+
+  void SplitNode(NodeBase* node, NodeBase** right_out, Key* separator) {
+    if (IsLeaf(node)) {
+      leaf_splits_.fetch_add(1, std::memory_order_relaxed);
+      Leaf* leaf = AsLeaf(node);
+      const uint16_t mid = leaf->count / 2;
+      Leaf* right = new Leaf();
+      right->count = static_cast<uint16_t>(leaf->count - mid);
+      for (uint16_t i = 0; i < right->count; ++i) {
+        right->keys[i] = leaf->keys[mid + i];
+        right->values[i] = leaf->values[mid + i];
+      }
+      leaf->count = mid;
+      right->next = leaf->next;
+      leaf->next = right;
+      *separator = right->keys[0];
+      *right_out = right;
+    } else {
+      inner_splits_.fetch_add(1, std::memory_order_relaxed);
+      Inner* inner = AsInner(node);
+      const uint16_t mid = inner->count / 2;
+      Inner* right = new Inner(inner->level);
+      right->count = static_cast<uint16_t>(inner->count - mid - 1);
+      for (uint16_t i = 0; i < right->count; ++i) {
+        right->keys[i] = inner->keys[mid + 1 + i];
+      }
+      for (uint16_t i = 0; i <= right->count; ++i) {
+        right->children[i] = inner->children[mid + 1 + i];
+      }
+      *separator = inner->keys[mid];
+      inner->count = mid;
+      *right_out = right;
+    }
+  }
+
+  // --- Maintenance ---
+
+  void FreeSubtree(NodeBase* node) {
+    if (node == nullptr) return;
+    if (IsLeaf(node)) {
+      delete AsLeaf(node);
+      return;
+    }
+    Inner* inner = AsInner(node);
+    for (uint16_t i = 0; i <= inner->count; ++i) {
+      FreeSubtree(inner->children[i]);
+    }
+    delete inner;
+  }
+
+  void CheckSubtree(const NodeBase* node, const Key* lower, const Key* upper,
+                    size_t* keys) const {
+    if (IsLeaf(node)) {
+      const Leaf* leaf = AsLeaf(node);
+      OPTIQL_CHECK(leaf->count <= kLeafMax);
+      for (uint16_t i = 0; i < leaf->count; ++i) {
+        if (i > 0) OPTIQL_CHECK(leaf->keys[i - 1] < leaf->keys[i]);
+        if (lower != nullptr) OPTIQL_CHECK(!(leaf->keys[i] < *lower));
+        if (upper != nullptr) OPTIQL_CHECK(leaf->keys[i] < *upper);
+      }
+      *keys += leaf->count;
+      return;
+    }
+    const Inner* inner = AsInner(node);
+    OPTIQL_CHECK(inner->count >= 1);
+    OPTIQL_CHECK(inner->count <= kInnerMax);
+    for (uint16_t i = 0; i < inner->count; ++i) {
+      if (i > 0) OPTIQL_CHECK(inner->keys[i - 1] < inner->keys[i]);
+    }
+    for (uint16_t i = 0; i <= inner->count; ++i) {
+      const NodeBase* child = inner->children[i];
+      OPTIQL_CHECK(child->level + 1 == inner->level);
+      const Key* lo = i == 0 ? lower : &inner->keys[i - 1];
+      const Key* hi = i == inner->count ? upper : &inner->keys[i];
+      CheckSubtree(child, lo, hi, keys);
+    }
+  }
+
+  std::atomic<NodeBase*> root_;
+  std::atomic<size_t> size_{0};
+  mutable std::atomic<uint64_t> read_restarts_{0};
+  std::atomic<uint64_t> write_restarts_{0};
+  std::atomic<uint64_t> leaf_splits_{0};
+  std::atomic<uint64_t> inner_splits_{0};
+};
+
+template <class Key, class Value, class SyncPolicy, size_t kNodeBytes>
+constexpr size_t BTree<Key, Value, SyncPolicy, kNodeBytes>::LeafCapacity() {
+  return Leaf::kMax;
+}
+
+template <class Key, class Value, class SyncPolicy, size_t kNodeBytes>
+constexpr size_t BTree<Key, Value, SyncPolicy, kNodeBytes>::InnerCapacity() {
+  return Inner::kMax;
+}
+
+}  // namespace optiql
+
+#endif  // OPTIQL_INDEX_BTREE_H_

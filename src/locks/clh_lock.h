@@ -1,0 +1,75 @@
+// Classic CLH queue lock (Craig; Landin & Hagersten — paper §2.3/§8).
+//
+// Like MCS, requesters form an implicit FIFO queue, but each waiter spins
+// on its *predecessor's* node instead of its own, and queue nodes migrate:
+// a releasing holder abandons its node to the successor and the successor
+// adopts it for a later acquisition. The classic formulation seeds the lock
+// with a dummy node; this implementation instead allows an empty (null)
+// tail and releases with a CAS when no successor has queued, so the lock is
+// an 8-byte zero-initializable word like every other lock in the repo.
+//
+// AcquireEx returns the published node; the caller passes it back to
+// ReleaseEx (it identifies this acquisition, not this thread).
+#ifndef OPTIQL_LOCKS_CLH_LOCK_H_
+#define OPTIQL_LOCKS_CLH_LOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/platform.h"
+#include "qnode/qnode_pool.h"
+
+namespace optiql {
+
+class ClhLock {
+ public:
+  ClhLock() = default;
+  ClhLock(const ClhLock&) = delete;
+  ClhLock& operator=(const ClhLock&) = delete;
+
+  // Blocks until the lock is held; returns the acquisition handle.
+  QNode* AcquireEx() {
+    QNode* node = ThreadQNodeStack::Pop();
+    node->version.store(kLockedFlag, std::memory_order_relaxed);
+    QNode* pred = tail_.exchange(node, std::memory_order_acq_rel);
+    if (pred != nullptr) {
+      SpinWait wait;
+      while (pred->version.load(std::memory_order_acquire) == kLockedFlag) {
+        wait.Spin();
+      }
+      // The predecessor abandoned its node to us; adopt it for later.
+      ThreadQNodeStack::Push(pred);
+    }
+    return node;
+  }
+
+  void ReleaseEx(QNode* node) {
+    QNode* expected = node;
+    if (tail_.compare_exchange_strong(expected, nullptr,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+      // No successor ever observed the node: reuse it ourselves.
+      ThreadQNodeStack::Push(node);
+      return;
+    }
+    // A successor spins on `node`; the unlock store is our last access —
+    // ownership passes to the successor.
+    node->version.store(kUnlockedFlag, std::memory_order_release);
+  }
+
+  bool IsLockedEx() const {
+    return tail_.load(std::memory_order_acquire) != nullptr;
+  }
+
+ private:
+  static constexpr uint64_t kLockedFlag = QNode::kInvalidVersion;
+  static constexpr uint64_t kUnlockedFlag = 0;
+
+  std::atomic<QNode*> tail_{nullptr};
+};
+
+static_assert(sizeof(ClhLock) == 8, "CLH lock must be one 8-byte word");
+
+}  // namespace optiql
+
+#endif  // OPTIQL_LOCKS_CLH_LOCK_H_

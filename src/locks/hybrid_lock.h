@@ -1,0 +1,161 @@
+// Hybrid latch after Böttcher et al., "Scalable and Robust Latches for
+// Database Systems" (DaMoN'20) — the paper's reference [6] and the §8
+// "pessimistic readers combined with optimistic locks" design point.
+//
+// A centralized 8-byte lock supporting three access modes:
+//   * optimistic read  — snapshot + validate, no shared-memory write;
+//   * pessimistic read — a shared counter in the word blocks writers, for
+//     readers that keep failing validation under write-heavy contention;
+//   * exclusive write  — blocks until no shared readers and no writer.
+//
+// Word layout: [63] exclusive  [48..62] shared count (15 bits)
+//              [0..47] version (48 bits).
+//
+// Optimistic validation masks out the shared-count field: pessimistic
+// readers do not invalidate optimistic ones (data is unchanged), only
+// writers do. `ReadCriticalHybrid` packages the adaptive policy the DaMoN
+// paper advocates: try optimistically a few times, then fall back.
+#ifndef OPTIQL_LOCKS_HYBRID_LOCK_H_
+#define OPTIQL_LOCKS_HYBRID_LOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/backoff.h"
+#include "common/platform.h"
+
+namespace optiql {
+
+class HybridLock {
+ public:
+  static constexpr uint64_t kExclusiveBit = 1ULL << 63;
+  static constexpr int kSharedShift = 48;
+  static constexpr uint64_t kSharedOne = 1ULL << kSharedShift;
+  static constexpr uint64_t kSharedMask = ((1ULL << 15) - 1) << kSharedShift;
+  static constexpr uint64_t kVersionMask = (1ULL << kSharedShift) - 1;
+
+  // Optimistic attempts before a reader falls back to pessimistic mode.
+  static constexpr int kOptimisticAttempts = 4;
+
+  HybridLock() = default;
+  HybridLock(const HybridLock&) = delete;
+  HybridLock& operator=(const HybridLock&) = delete;
+
+  // --- Optimistic reader interface ---
+
+  bool AcquireSh(uint64_t& v) const {
+    v = word_.load(std::memory_order_acquire);
+    return (v & kExclusiveBit) == 0;
+  }
+
+  bool ReleaseSh(uint64_t v) const {
+    std::atomic_thread_fence(std::memory_order_acquire);
+    const uint64_t now = word_.load(std::memory_order_relaxed);
+    // Shared-count churn is invisible to optimistic readers: pessimistic
+    // readers do not modify the protected data.
+    return (now & ~kSharedMask) == (v & ~kSharedMask);
+  }
+
+  // --- Pessimistic reader interface ---
+
+  void AcquireShPessimistic() {
+    NoBackoff backoff;
+    uint64_t v = word_.load(std::memory_order_relaxed);
+    while (true) {
+      if ((v & kExclusiveBit) != 0) {
+        backoff.Pause();
+        v = word_.load(std::memory_order_relaxed);
+        continue;
+      }
+      if (word_.compare_exchange_weak(v, v + kSharedOne,
+                                      std::memory_order_acquire,
+                                      std::memory_order_relaxed)) {
+        return;
+      }
+    }
+  }
+
+  void ReleaseShPessimistic() {
+    word_.fetch_sub(kSharedOne, std::memory_order_release);
+  }
+
+  // --- Exclusive writer interface ---
+
+  void AcquireEx() {
+    NoBackoff backoff;
+    uint64_t v = word_.load(std::memory_order_relaxed);
+    while (true) {
+      if ((v & (kExclusiveBit | kSharedMask)) != 0) {
+        backoff.Pause();
+        v = word_.load(std::memory_order_relaxed);
+        continue;
+      }
+      if (word_.compare_exchange_weak(v, v | kExclusiveBit,
+                                      std::memory_order_acquire,
+                                      std::memory_order_relaxed)) {
+        return;
+      }
+    }
+  }
+
+  bool TryAcquireEx() {
+    uint64_t v = word_.load(std::memory_order_relaxed);
+    return (v & (kExclusiveBit | kSharedMask)) == 0 &&
+           word_.compare_exchange_strong(v, v | kExclusiveBit,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed);
+  }
+
+  bool TryUpgrade(uint64_t v) {
+    if ((v & (kExclusiveBit | kSharedMask)) != 0) return false;
+    return word_.compare_exchange_strong(v, v | kExclusiveBit,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed);
+  }
+
+  void ReleaseEx() {
+    const uint64_t v = word_.load(std::memory_order_relaxed);
+    word_.store(((v & kVersionMask) + 1) & kVersionMask,
+                std::memory_order_release);
+  }
+
+  // --- Adaptive read (the hybrid policy) ---
+  //
+  // Runs `f` under optimistic protection, falling back to pessimistic
+  // shared mode after kOptimisticAttempts failed validations. Always
+  // succeeds; returns true if the fallback was used (diagnostics).
+  template <class F>
+  bool ReadCriticalHybrid(F&& f) {
+    for (int attempt = 0; attempt < kOptimisticAttempts; ++attempt) {
+      uint64_t v;
+      if (!AcquireSh(v)) continue;
+      f();
+      if (ReleaseSh(v)) return false;
+    }
+    AcquireShPessimistic();
+    f();
+    ReleaseShPessimistic();
+    return true;
+  }
+
+  // --- Introspection ---
+
+  bool IsLockedEx() const {
+    return (word_.load(std::memory_order_acquire) & kExclusiveBit) != 0;
+  }
+  uint32_t SharedCount() const {
+    return static_cast<uint32_t>(
+        (word_.load(std::memory_order_acquire) & kSharedMask) >>
+        kSharedShift);
+  }
+  uint64_t LoadWord() const { return word_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<uint64_t> word_{0};
+};
+
+static_assert(sizeof(HybridLock) == 8, "Hybrid lock must be 8 bytes");
+
+}  // namespace optiql
+
+#endif  // OPTIQL_LOCKS_HYBRID_LOCK_H_

@@ -1,0 +1,119 @@
+// Centralized optimistic lock ("OptLock", paper Figure 2(b)): a TTS-style
+// spinlock whose 8-byte word also carries a version counter so readers can
+// proceed optimistically and validate afterwards. This is the baseline used
+// by BTreeOLC and ART-OLC and the design OptiQL competes against.
+//
+// Word layout: [63] locked  [62] obsolete  [0..61] version.
+// The obsolete bit is used by structures that replace nodes (ART node
+// growth): it permanently fails readers' validation and writers' upgrades on
+// the retired node.
+#ifndef OPTIQL_LOCKS_OPTLOCK_H_
+#define OPTIQL_LOCKS_OPTLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/backoff.h"
+
+namespace optiql {
+
+template <class BackoffPolicy = NoBackoff>
+class BasicOptLock {
+ public:
+  static constexpr uint64_t kLockedBit = 1ULL << 63;
+  static constexpr uint64_t kObsoleteBit = 1ULL << 62;
+  static constexpr uint64_t kVersionMask = kObsoleteBit - 1;
+
+  BasicOptLock() = default;
+  BasicOptLock(const BasicOptLock&) = delete;
+  BasicOptLock& operator=(const BasicOptLock&) = delete;
+
+  // --- Optimistic reader interface (paper Figure 2(b)) ---
+
+  // "Acquires" the lock in optimistic read mode: snapshots the word into `v`
+  // and reports whether the caller may proceed. No shared-memory write.
+  bool AcquireSh(uint64_t& v) const {
+    v = word_.load(std::memory_order_acquire);
+    return (v & (kLockedBit | kObsoleteBit)) == 0;
+  }
+
+  // Validates that the protected data did not change since AcquireSh
+  // returned `v`. The acquire fence orders the caller's preceding data reads
+  // before the validating load (seqlock validation idiom).
+  bool ReleaseSh(uint64_t v) const {
+    std::atomic_thread_fence(std::memory_order_acquire);
+    return word_.load(std::memory_order_relaxed) == v;
+  }
+
+  // --- Exclusive writer interface ---
+
+  void AcquireEx() {
+    BackoffPolicy backoff;
+    while (true) {
+      uint64_t v = word_.load(std::memory_order_relaxed);
+      if ((v & kLockedBit) == 0 && TryAcquireExFrom(v)) return;
+      backoff.Pause();
+    }
+  }
+
+  bool TryAcquireEx() {
+    uint64_t v = word_.load(std::memory_order_relaxed);
+    return (v & kLockedBit) == 0 && TryAcquireExFrom(v);
+  }
+
+  // Upgrades an optimistic read to exclusive ownership iff the word still
+  // carries the snapshot `v` from AcquireSh.
+  bool TryUpgrade(uint64_t v) {
+    return word_.compare_exchange_strong(v, v | kLockedBit,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed);
+  }
+
+  // Releases exclusive mode, bumping the version to fail readers that
+  // overlapped the critical section.
+  void ReleaseEx() {
+    const uint64_t v = word_.load(std::memory_order_relaxed);
+    word_.store((v + 1) & ~kLockedBit, std::memory_order_release);
+  }
+
+  // Releases exclusive mode and retires the protected object: every future
+  // AcquireSh/TryUpgrade on this lock fails.
+  void ReleaseExObsolete() {
+    const uint64_t v = word_.load(std::memory_order_relaxed);
+    word_.store(((v + 1) & ~kLockedBit) | kObsoleteBit,
+                std::memory_order_release);
+  }
+
+  // --- Introspection (tests/diagnostics) ---
+
+  bool IsLockedEx() const {
+    return (word_.load(std::memory_order_acquire) & kLockedBit) != 0;
+  }
+  bool IsObsolete() const {
+    return (word_.load(std::memory_order_acquire) & kObsoleteBit) != 0;
+  }
+  uint64_t LoadWord() const { return word_.load(std::memory_order_acquire); }
+
+ private:
+  bool TryAcquireExFrom(uint64_t v) {
+    if ((v & kObsoleteBit) != 0) {
+      // Writers must never mutate a retired object; treat like contention so
+      // index protocols observe the failed acquisition and restart.
+      return false;
+    }
+    return word_.compare_exchange_strong(v, v | kLockedBit,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed);
+  }
+
+  std::atomic<uint64_t> word_{0};
+};
+
+using OptLock = BasicOptLock<NoBackoff>;
+using OptBackoffLock = BasicOptLock<ExponentialBackoff>;
+
+static_assert(sizeof(OptLock) == 8, "OptLock must be one 8-byte word");
+
+}  // namespace optiql
+
+#endif  // OPTIQL_LOCKS_OPTLOCK_H_

@@ -1,0 +1,41 @@
+// Uniform pessimistic-lock facade used by the lock-coupling index variants
+// (B+-tree and ART baselines). `slot` selects a thread-local queue node for
+// queue-based locks; coupling holds at most two locks (parent+child at
+// adjacent depths), so alternating two slots by depth suffices.
+#ifndef OPTIQL_LOCKS_PESSIMISTIC_OPS_H_
+#define OPTIQL_LOCKS_PESSIMISTIC_OPS_H_
+
+#include "locks/shared_mutex_lock.h"
+#include "qnode/qnode_pool.h"
+
+namespace optiql {
+namespace internal {
+
+template <class Lock>
+struct PessimisticOps {
+  static void AcquireSh(Lock& lock, int slot) {
+    lock.AcquireSh(ThreadQNodes::Get(slot));
+  }
+  static void ReleaseSh(Lock& lock, int slot) {
+    lock.ReleaseSh(ThreadQNodes::Get(slot));
+  }
+  static void AcquireEx(Lock& lock, int slot) {
+    lock.AcquireEx(ThreadQNodes::Get(slot));
+  }
+  static void ReleaseEx(Lock& lock, int slot) {
+    lock.ReleaseEx(ThreadQNodes::Get(slot));
+  }
+};
+
+template <>
+struct PessimisticOps<SharedMutexLock> {
+  static void AcquireSh(SharedMutexLock& lock, int) { lock.AcquireSh(); }
+  static void ReleaseSh(SharedMutexLock& lock, int) { lock.ReleaseSh(); }
+  static void AcquireEx(SharedMutexLock& lock, int) { lock.AcquireEx(); }
+  static void ReleaseEx(SharedMutexLock& lock, int) { lock.ReleaseEx(); }
+};
+
+}  // namespace internal
+}  // namespace optiql
+
+#endif  // OPTIQL_LOCKS_PESSIMISTIC_OPS_H_

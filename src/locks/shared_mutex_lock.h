@@ -1,0 +1,32 @@
+// Wrapper over std::shared_mutex presenting the repo's lock interface
+// naming. This is the paper's "pthread" baseline (§7.1): on Linux/libstdc++
+// it is pthread_rwlock_t underneath, uses a 56-byte lock word, and expands
+// into a queue-based structure in the kernel under contention.
+#ifndef OPTIQL_LOCKS_SHARED_MUTEX_LOCK_H_
+#define OPTIQL_LOCKS_SHARED_MUTEX_LOCK_H_
+
+#include <shared_mutex>
+
+namespace optiql {
+
+class SharedMutexLock {
+ public:
+  SharedMutexLock() = default;
+  SharedMutexLock(const SharedMutexLock&) = delete;
+  SharedMutexLock& operator=(const SharedMutexLock&) = delete;
+
+  void AcquireEx() { mutex_.lock(); }
+  bool TryAcquireEx() { return mutex_.try_lock(); }
+  void ReleaseEx() { mutex_.unlock(); }
+
+  void AcquireSh() { mutex_.lock_shared(); }
+  bool TryAcquireSh() { return mutex_.try_lock_shared(); }
+  void ReleaseSh() { mutex_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mutex_;
+};
+
+}  // namespace optiql
+
+#endif  // OPTIQL_LOCKS_SHARED_MUTEX_LOCK_H_

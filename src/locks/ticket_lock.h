@@ -1,0 +1,58 @@
+// Ticket lock (paper §8): FIFO-fair like queue-based locks, but still
+// centralized — all waiters spin on the shared now-serving counter, so it
+// remains vulnerable to collapse under contention. Included as the
+// fairness-without-queuing reference point.
+#ifndef OPTIQL_LOCKS_TICKET_LOCK_H_
+#define OPTIQL_LOCKS_TICKET_LOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/platform.h"
+
+namespace optiql {
+
+class TicketLock {
+ public:
+  TicketLock() = default;
+  TicketLock(const TicketLock&) = delete;
+  TicketLock& operator=(const TicketLock&) = delete;
+
+  void AcquireEx() {
+    const uint32_t ticket =
+        next_ticket_.fetch_add(1, std::memory_order_relaxed);
+    SpinWait wait;
+    while (now_serving_.load(std::memory_order_acquire) != ticket) {
+      wait.Spin();
+    }
+  }
+
+  bool TryAcquireEx() {
+    uint32_t serving = now_serving_.load(std::memory_order_acquire);
+    uint32_t expected = serving;
+    // Only succeeds if no one is waiting: next_ticket == now_serving.
+    return next_ticket_.compare_exchange_strong(expected, serving + 1,
+                                                std::memory_order_acquire,
+                                                std::memory_order_relaxed);
+  }
+
+  void ReleaseEx() {
+    now_serving_.store(now_serving_.load(std::memory_order_relaxed) + 1,
+                       std::memory_order_release);
+  }
+
+  bool IsLockedEx() const {
+    return next_ticket_.load(std::memory_order_acquire) !=
+           now_serving_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<uint32_t> next_ticket_{0};
+  std::atomic<uint32_t> now_serving_{0};
+};
+
+static_assert(sizeof(TicketLock) == 8, "Ticket lock must fit in 8 bytes");
+
+}  // namespace optiql
+
+#endif  // OPTIQL_LOCKS_TICKET_LOCK_H_

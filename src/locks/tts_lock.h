@@ -1,0 +1,60 @@
+// Test-and-test-and-set spinlock (paper Figure 2(a)). The ancestor of the
+// centralized optimistic lock: writers spin reading the word and attempt a
+// CAS only when it looks free. Kept at 8 bytes to match the paper's setup.
+#ifndef OPTIQL_LOCKS_TTS_LOCK_H_
+#define OPTIQL_LOCKS_TTS_LOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/backoff.h"
+
+namespace optiql {
+
+// `BackoffPolicy` is NoBackoff (paper's default TTS) or ExponentialBackoff.
+template <class BackoffPolicy = NoBackoff>
+class BasicTtsLock {
+ public:
+  BasicTtsLock() = default;
+  BasicTtsLock(const BasicTtsLock&) = delete;
+  BasicTtsLock& operator=(const BasicTtsLock&) = delete;
+
+  void AcquireEx() {
+    BackoffPolicy backoff;
+    while (true) {
+      if (word_.load(std::memory_order_relaxed) == kUnlocked &&
+          TryAcquireEx()) {
+        return;
+      }
+      backoff.Pause();
+    }
+  }
+
+  bool TryAcquireEx() {
+    uint64_t expected = kUnlocked;
+    return word_.compare_exchange_strong(expected, kLocked,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed);
+  }
+
+  void ReleaseEx() { word_.store(kUnlocked, std::memory_order_release); }
+
+  bool IsLockedEx() const {
+    return word_.load(std::memory_order_acquire) == kLocked;
+  }
+
+ private:
+  static constexpr uint64_t kUnlocked = 0;
+  static constexpr uint64_t kLocked = 1;
+
+  std::atomic<uint64_t> word_{kUnlocked};
+};
+
+using TtsLock = BasicTtsLock<NoBackoff>;
+using TtsBackoffLock = BasicTtsLock<ExponentialBackoff>;
+
+static_assert(sizeof(TtsLock) == 8, "TTS lock must be one 8-byte word");
+
+}  // namespace optiql
+
+#endif  // OPTIQL_LOCKS_TTS_LOCK_H_

@@ -1,0 +1,118 @@
+#include "qnode/qnode_pool.h"
+
+#include <cstdlib>
+#include <new>
+
+namespace optiql {
+
+QNodePool::QNodePool(uint32_t capacity) : capacity_(capacity) {
+  OPTIQL_CHECK(capacity_ >= 2);
+  void* mem = std::aligned_alloc(kCachelineSize, sizeof(QNode) * capacity_);
+  OPTIQL_CHECK(mem != nullptr);
+  nodes_ = new (mem) QNode[capacity_];
+  free_ids_.reserve(capacity_ - 1);
+  // Hand out low IDs first (LIFO from the back of the vector), purely to make
+  // diagnostics predictable.
+  for (uint32_t id = capacity_ - 1; id >= 1; --id) {
+    free_ids_.push_back(id);
+  }
+}
+
+QNodePool::~QNodePool() {
+  for (uint32_t i = 0; i < capacity_; ++i) nodes_[i].~QNode();
+  std::free(nodes_);
+}
+
+QNodePool& QNodePool::Instance() {
+  static QNodePool* pool = new QNodePool();  // Intentionally never freed.
+  return *pool;
+}
+
+QNode* QNodePool::Acquire() {
+  uint32_t id;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (free_ids_.empty()) return nullptr;
+    id = free_ids_.back();
+    free_ids_.pop_back();
+  }
+  QNode* node = &nodes_[id];
+  node->Reset();
+  return node;
+}
+
+void QNodePool::Release(QNode* node) {
+  const uint32_t id = ToId(node);
+  std::lock_guard<std::mutex> guard(mu_);
+  free_ids_.push_back(id);
+}
+
+uint32_t QNodePool::in_use() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return capacity_ - 1 - static_cast<uint32_t>(free_ids_.size());
+}
+
+namespace {
+
+// Per-thread cache; returns nodes to the global pool on thread exit.
+struct ThreadQNodeCache {
+  QNode* nodes[ThreadQNodes::kNodesPerThread] = {};
+
+  ~ThreadQNodeCache() {
+    for (QNode* node : nodes) {
+      if (node != nullptr) QNodePool::Instance().Release(node);
+    }
+  }
+};
+
+thread_local ThreadQNodeCache t_qnode_cache;
+
+}  // namespace
+
+namespace {
+
+struct ThreadQNodeStackCache {
+  QNode* nodes[ThreadQNodeStack::kMaxCached] = {};
+  int size = 0;
+
+  ~ThreadQNodeStackCache() {
+    for (int i = 0; i < size; ++i) QNodePool::Instance().Release(nodes[i]);
+  }
+};
+
+thread_local ThreadQNodeStackCache t_qnode_stack;
+
+}  // namespace
+
+QNode* ThreadQNodeStack::Pop() {
+  ThreadQNodeStackCache& cache = t_qnode_stack;
+  if (cache.size > 0) {
+    QNode* node = cache.nodes[--cache.size];
+    node->Reset();
+    return node;
+  }
+  QNode* node = QNodePool::Instance().Acquire();
+  OPTIQL_CHECK(node != nullptr);
+  return node;
+}
+
+void ThreadQNodeStack::Push(QNode* node) {
+  ThreadQNodeStackCache& cache = t_qnode_stack;
+  if (cache.size < kMaxCached) {
+    cache.nodes[cache.size++] = node;
+  } else {
+    QNodePool::Instance().Release(node);
+  }
+}
+
+QNode* ThreadQNodes::Get(int i) {
+  OPTIQL_CHECK(i >= 0 && i < kNodesPerThread);
+  QNode*& slot = t_qnode_cache.nodes[i];
+  if (OPTIQL_UNLIKELY(slot == nullptr)) {
+    slot = QNodePool::Instance().Acquire();
+    OPTIQL_CHECK(slot != nullptr);
+  }
+  return slot;
+}
+
+}  // namespace optiql

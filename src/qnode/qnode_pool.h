@@ -1,0 +1,157 @@
+// Queue-node management for queue-based locks (OptiQL, MCS, MCS-RW).
+//
+// OptiQL keeps its lock word at 8 bytes by storing a *queue node ID* instead
+// of a 64-bit pointer (paper §4.2/§6.3). That requires a globally accessible
+// ID⇄pointer translation. Following the paper (and FOEDUS), all queue nodes
+// are pre-allocated in one contiguous array so translation is plain pointer
+// arithmetic; IDs are array indexes. Nodes are handed to threads in small
+// blocks, cached thread-locally, and recycled on thread exit.
+#ifndef OPTIQL_QNODE_QNODE_POOL_H_
+#define OPTIQL_QNODE_QNODE_POOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/check.h"
+#include "common/platform.h"
+
+namespace optiql {
+
+// One queue node = one cacheline, so local spinning on `version` never
+// contends with a neighbouring thread's node.
+//
+// Field use by lock type:
+//   OptiQL : `next` = successor node, `version` = version to adopt
+//            (kInvalidVersion while waiting; the release protocol stores the
+//            successor's new version here, which doubles as the grant signal).
+//   MCS    : `version` = 0 while waiting, 1 once granted.
+//   MCS-RW : `version` = grant/blocked flag, `aux` = packed
+//            {class, successor_class} state.
+struct OPTIQL_CACHELINE_ALIGNED QNode {
+  static constexpr uint64_t kInvalidVersion = ~0ULL;
+
+  std::atomic<QNode*> next{nullptr};
+  std::atomic<uint64_t> version{kInvalidVersion};
+  std::atomic<uint64_t> aux{0};
+
+  // Returns the node to its pristine state before (re)joining a queue.
+  void Reset() {
+    next.store(nullptr, std::memory_order_relaxed);
+    version.store(kInvalidVersion, std::memory_order_relaxed);
+    aux.store(0, std::memory_order_relaxed);
+  }
+};
+
+static_assert(sizeof(QNode) == kCachelineSize,
+              "QNode must occupy exactly one cacheline");
+
+// Fixed-capacity pool of queue nodes with O(1) ID⇄pointer translation.
+// ID 0 is reserved as the null ID so an all-zero lock word means
+// "unlocked, version 0, no tail".
+class QNodePool {
+ public:
+  // 10 ID bits in the OptiQL lock word => up to 1024 IDs; ID 0 reserved.
+  static constexpr uint32_t kIdBits = 10;
+  static constexpr uint32_t kDefaultCapacity = 1u << kIdBits;
+  static constexpr uint32_t kNullId = 0;
+
+  explicit QNodePool(uint32_t capacity = kDefaultCapacity);
+  ~QNodePool();
+
+  QNodePool(const QNodePool&) = delete;
+  QNodePool& operator=(const QNodePool&) = delete;
+
+  // The process-wide pool used by all locks. Never destroyed (trivial
+  // teardown order issues with detached threads otherwise).
+  static QNodePool& Instance();
+
+  // Takes a free node out of the pool, reset and ready to use. Returns
+  // nullptr when the pool is exhausted.
+  QNode* Acquire();
+
+  // Returns a node to the pool. The caller must no longer reference it.
+  void Release(QNode* node);
+
+  QNode* ToPtr(uint32_t id) {
+    OPTIQL_CHECK(id != kNullId && id < capacity_);
+    return &nodes_[id];
+  }
+
+  uint32_t ToId(const QNode* node) const {
+    auto id = static_cast<uint32_t>(node - nodes_);
+    OPTIQL_CHECK(id != kNullId && id < capacity_);
+    return id;
+  }
+
+  uint32_t capacity() const { return capacity_; }
+
+  // Number of nodes currently handed out (approximate under concurrency;
+  // exact when quiescent). Intended for tests and diagnostics.
+  uint32_t in_use() const;
+
+ private:
+  const uint32_t capacity_;
+  QNode* nodes_;  // Aligned array of `capacity_` nodes; index 0 unused.
+
+  mutable std::mutex mu_;
+  std::vector<uint32_t> free_ids_;  // Guarded by mu_.
+};
+
+// Thread-local cache of queue nodes. Index operations hold at most two
+// queue-based locks at a time (paper §6.1); we cache four per thread for
+// headroom. Nodes are lazily acquired from the global pool on first use and
+// recycled when the thread exits.
+class ThreadQNodes {
+ public:
+  static constexpr int kNodesPerThread = 4;
+
+  // Returns this thread's i-th cached queue node (0 <= i < kNodesPerThread).
+  // Aborts if the global pool is exhausted: that means the system was
+  // oversubscribed past the lock word's ID capacity, which the paper's
+  // deployment model (threads <= hardware contexts) excludes.
+  static QNode* Get(int i);
+};
+
+// Thread-local stack of owned queue nodes for locks whose queue nodes
+// migrate between threads (CLH-style: a releasing holder abandons its node
+// to the successor and adopts its predecessor's). Pop hands out an owned
+// node (refilling from the global pool when empty); Push takes ownership
+// back (spilling to the pool past a small cap). Nodes still come from the
+// one contiguous pool array, so ID translation keeps working.
+class ThreadQNodeStack {
+ public:
+  static constexpr int kMaxCached = 8;
+
+  // Pops an owned node, reset and ready to use. Aborts if the global pool
+  // is exhausted.
+  static QNode* Pop();
+
+  // Takes ownership of `node` (e.g., an adopted predecessor node).
+  static void Push(QNode* node);
+};
+
+// RAII convenience for callers that want an explicit, scoped queue node
+// rather than the thread-local cache (e.g., tests exercising pool pressure).
+class QNodeGuard {
+ public:
+  explicit QNodeGuard(QNodePool& pool = QNodePool::Instance())
+      : pool_(pool), node_(pool.Acquire()) {
+    OPTIQL_CHECK(node_ != nullptr);
+  }
+  ~QNodeGuard() { pool_.Release(node_); }
+
+  QNodeGuard(const QNodeGuard&) = delete;
+  QNodeGuard& operator=(const QNodeGuard&) = delete;
+
+  QNode* node() { return node_; }
+
+ private:
+  QNodePool& pool_;
+  QNode* node_;
+};
+
+}  // namespace optiql
+
+#endif  // OPTIQL_QNODE_QNODE_POOL_H_

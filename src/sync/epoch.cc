@@ -1,0 +1,180 @@
+#include "sync/epoch.h"
+
+#include <cstdlib>
+#include <new>
+
+namespace optiql {
+
+struct EpochManager::ThreadState {
+  EpochManager* owner = nullptr;
+  Slot* slot = nullptr;
+  uint32_t depth = 0;  // Guard nesting depth.
+  std::vector<RetiredObject> retired;
+
+  ~ThreadState() {
+    if (owner == nullptr) return;
+    // The thread is going away: drain what is provably safe and hand the
+    // remainder to the manager's orphan list, where any thread's next
+    // reclaim pass picks it up.
+    owner->ReclaimFrom(*this);
+    if (!retired.empty()) owner->AdoptOrphans(std::move(retired));
+    if (slot != nullptr) {
+      slot->epoch.store(kQuiescent, std::memory_order_release);
+      slot->used.store(false, std::memory_order_release);
+    }
+  }
+};
+
+EpochManager::EpochManager() {
+  void* mem = std::aligned_alloc(kCachelineSize, sizeof(Slot) * kMaxThreads);
+  OPTIQL_CHECK(mem != nullptr);
+  slots_ = new (mem) Slot[kMaxThreads];
+}
+
+EpochManager::~EpochManager() {
+  // No users may remain at destruction: orphans are safe to free.
+  for (const RetiredObject& r : orphans_) r.deleter(r.object);
+  for (uint32_t i = 0; i < kMaxThreads; ++i) slots_[i].~Slot();
+  std::free(slots_);
+}
+
+EpochManager& EpochManager::Instance() {
+  static EpochManager* manager = new EpochManager();  // Never freed.
+  return *manager;
+}
+
+EpochManager::ThreadState& EpochManager::LocalState() {
+  thread_local ThreadState state;
+  if (OPTIQL_UNLIKELY(state.owner == nullptr)) {
+    state.owner = this;
+    for (uint32_t i = 0; i < kMaxThreads; ++i) {
+      bool expected = false;
+      if (slots_[i].used.compare_exchange_strong(expected, true,
+                                                 std::memory_order_acq_rel)) {
+        state.slot = &slots_[i];
+        break;
+      }
+    }
+    OPTIQL_CHECK(state.slot != nullptr);  // More threads than kMaxThreads.
+  }
+  // A single process-wide EpochManager::Instance() is assumed per thread;
+  // tests that build private managers use dedicated threads.
+  OPTIQL_CHECK(state.owner == this);
+  return state;
+}
+
+void EpochManager::Enter() {
+  ThreadState& state = LocalState();
+  if (state.depth++ > 0) return;
+  // seq_cst store + fence: the epoch announcement must be globally visible
+  // before any of the guarded loads, or a concurrent reclaimer could miss
+  // this thread.
+  state.slot->epoch.store(global_epoch_.load(std::memory_order_seq_cst),
+                          std::memory_order_seq_cst);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+}
+
+void EpochManager::Exit() {
+  ThreadState& state = LocalState();
+  OPTIQL_CHECK(state.depth > 0);
+  if (--state.depth > 0) return;
+  state.slot->epoch.store(kQuiescent, std::memory_order_release);
+  if (!state.retired.empty()) ReclaimIfPossible();
+}
+
+void EpochManager::Retire(void* object, void (*deleter)(void*)) {
+  ThreadState& state = LocalState();
+  OPTIQL_CHECK(state.depth > 0);
+  // The fence orders the caller's unlink stores before the epoch read: any
+  // thread that enters two epochs later is guaranteed to observe the unlink
+  // and thus cannot reach `object` anymore.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  const uint64_t epoch = global_epoch_.load(std::memory_order_acquire);
+  state.retired.push_back(RetiredObject{object, deleter, epoch});
+  if (retire_clock_.fetch_add(1, std::memory_order_relaxed) %
+          kRetiresPerEpochAdvance ==
+      kRetiresPerEpochAdvance - 1) {
+    global_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+uint64_t EpochManager::MinActiveEpoch() const {
+  uint64_t min_epoch = kQuiescent;
+  for (uint32_t i = 0; i < kMaxThreads; ++i) {
+    if (!slots_[i].used.load(std::memory_order_acquire)) continue;
+    const uint64_t e = slots_[i].epoch.load(std::memory_order_seq_cst);
+    if (e < min_epoch) min_epoch = e;
+  }
+  return min_epoch;
+}
+
+size_t EpochManager::ReclaimIfPossible() { return ReclaimFrom(LocalState()); }
+
+size_t EpochManager::ReclaimFrom(ThreadState& state) {
+  if (state.retired.empty()) {
+    return ReclaimOrphans(MinActiveEpoch());
+  }
+  // Objects retired in epoch E may still be visible to threads active in
+  // epochs E and E+1 (the advance is unchecked, so one extra epoch of slack
+  // absorbs in-flight announcements); they are safe once every active
+  // thread is at least two epochs past the retirement.
+  const uint64_t min_active = MinActiveEpoch();
+  size_t reclaimed = ReclaimOrphans(min_active);
+  auto& list = state.retired;
+  for (size_t i = 0; i < list.size();) {
+    if (list[i].epoch + 1 < min_active) {  // kQuiescent => no active readers.
+      list[i].deleter(list[i].object);
+      list[i] = list.back();
+      list.pop_back();
+      ++reclaimed;
+    } else {
+      ++i;
+    }
+  }
+  return reclaimed;
+}
+
+size_t EpochManager::ReclaimAllUnsafe() {
+  ThreadState& state = LocalState();
+  size_t reclaimed = state.retired.size();
+  for (const RetiredObject& r : state.retired) r.deleter(r.object);
+  state.retired.clear();
+  std::vector<RetiredObject> orphans;
+  {
+    std::lock_guard<std::mutex> guard(orphan_mu_);
+    orphans.swap(orphans_);
+  }
+  reclaimed += orphans.size();
+  for (const RetiredObject& r : orphans) r.deleter(r.object);
+  return reclaimed;
+}
+
+size_t EpochManager::ReclaimOrphans(uint64_t min_active) {
+  std::vector<RetiredObject> safe;
+  {
+    std::lock_guard<std::mutex> guard(orphan_mu_);
+    if (orphans_.empty()) return 0;
+    for (size_t i = 0; i < orphans_.size();) {
+      if (orphans_[i].epoch + 1 < min_active) {
+        safe.push_back(orphans_[i]);
+        orphans_[i] = orphans_.back();
+        orphans_.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  }
+  for (const RetiredObject& r : safe) r.deleter(r.object);
+  return safe.size();
+}
+
+void EpochManager::AdoptOrphans(std::vector<RetiredObject>&& leftovers) {
+  std::lock_guard<std::mutex> guard(orphan_mu_);
+  for (RetiredObject& r : leftovers) orphans_.push_back(r);
+}
+
+size_t EpochManager::RetiredCount() const {
+  return const_cast<EpochManager*>(this)->LocalState().retired.size();
+}
+
+}  // namespace optiql

@@ -1,0 +1,122 @@
+// Epoch-based memory reclamation.
+//
+// Optimistic readers traverse index nodes without holding locks, so a node
+// removed from the structure (ART node growth, B+-tree root replacement)
+// cannot be freed immediately: a reader may still be dereferencing it (its
+// version validation will fail *afterwards*). Index operations therefore run
+// inside an EpochGuard; retired nodes are freed only once every thread that
+// could have observed them has moved past their retirement epoch.
+//
+// Scheme: a global epoch counter, a fixed array of per-thread slots (each
+// slot publishes the epoch the thread entered at, or "quiescent"), and
+// per-thread retire lists. The global epoch is advanced every
+// kRetiresPerEpochAdvance retirements; a retired object is reclaimed when
+// min(active thread epochs) exceeds its retirement epoch.
+#ifndef OPTIQL_SYNC_EPOCH_H_
+#define OPTIQL_SYNC_EPOCH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/check.h"
+#include "common/platform.h"
+
+namespace optiql {
+
+class EpochManager {
+ public:
+  static constexpr uint32_t kMaxThreads = 512;
+  static constexpr uint64_t kQuiescent = ~0ULL;
+  static constexpr uint32_t kRetiresPerEpochAdvance = 64;
+
+  EpochManager();
+  ~EpochManager();
+
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  // Process-wide instance used by the indexes. Never destroyed.
+  static EpochManager& Instance();
+
+  // Marks this thread as active in the current epoch. Re-entrant.
+  void Enter();
+
+  // Marks this thread quiescent (when the outermost guard exits) and
+  // occasionally sweeps its retire list.
+  void Exit();
+
+  // Schedules `object` for deletion once all current readers are gone.
+  // Must be called while inside an Enter/Exit pair.
+  void Retire(void* object, void (*deleter)(void*));
+
+  template <class T>
+  void Retire(T* object) {
+    Retire(object, [](void* p) { delete static_cast<T*>(p); });
+  }
+
+  // Frees every retired object that no active thread can still observe.
+  // Returns the number of objects reclaimed (from this thread's list).
+  size_t ReclaimIfPossible();
+
+  // Drains this thread's retire list unconditionally. Only safe when the
+  // caller guarantees no concurrent readers (e.g., index destructor).
+  size_t ReclaimAllUnsafe();
+
+  // --- Introspection (tests/diagnostics) ---
+  uint64_t CurrentEpoch() const {
+    return global_epoch_.load(std::memory_order_acquire);
+  }
+  size_t RetiredCount() const;  // This thread's pending retirements.
+
+ private:
+  struct OPTIQL_CACHELINE_ALIGNED Slot {
+    std::atomic<uint64_t> epoch{kQuiescent};
+    std::atomic<bool> used{false};
+  };
+
+  struct RetiredObject {
+    void* object;
+    void (*deleter)(void*);
+    uint64_t epoch;
+  };
+
+  struct ThreadState;
+  friend struct ThreadState;
+
+  ThreadState& LocalState();
+  size_t ReclaimFrom(ThreadState& state);
+  size_t ReclaimOrphans(uint64_t min_active);
+  void AdoptOrphans(std::vector<RetiredObject>&& leftovers);
+  uint64_t MinActiveEpoch() const;
+
+  Slot* slots_;  // Array of kMaxThreads slots.
+  std::atomic<uint64_t> global_epoch_{1};
+  std::atomic<uint64_t> retire_clock_{0};
+
+  // Retired objects whose owning thread exited before they became safe;
+  // swept by any thread's next reclaim pass. Guarded by orphan_mu_.
+  std::mutex orphan_mu_;
+  std::vector<RetiredObject> orphans_;
+};
+
+// RAII guard bracketing an index operation.
+class EpochGuard {
+ public:
+  explicit EpochGuard(EpochManager& manager = EpochManager::Instance())
+      : manager_(manager) {
+    manager_.Enter();
+  }
+  ~EpochGuard() { manager_.Exit(); }
+
+  EpochGuard(const EpochGuard&) = delete;
+  EpochGuard& operator=(const EpochGuard&) = delete;
+
+ private:
+  EpochManager& manager_;
+};
+
+}  // namespace optiql
+
+#endif  // OPTIQL_SYNC_EPOCH_H_

@@ -1,0 +1,101 @@
+// Key-access distributions used by the paper's evaluation (§7.1):
+//   * Uniform — the low-contention baseline.
+//   * Self-similar (Gray et al., "Quickly Generating Billion-Record
+//     Synthetic Databases") with skew factor h: a fraction (1-h) of accesses
+//     target the first h*N keys, recursively. The paper uses h = 0.2
+//     ("80% of accesses target 20% of the keys").
+//   * Zipfian (YCSB-style, Gray et al. §3.2) as an additional skew model.
+//
+// Each generator maps a per-thread PRNG draw to an index in [0, n).
+#ifndef OPTIQL_WORKLOAD_DISTRIBUTIONS_H_
+#define OPTIQL_WORKLOAD_DISTRIBUTIONS_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace optiql {
+
+class UniformDistribution {
+ public:
+  explicit UniformDistribution(uint64_t n) : n_(n) { OPTIQL_CHECK(n > 0); }
+
+  uint64_t Next(Xoshiro256& rng) const { return rng.NextBounded(n_); }
+
+ private:
+  uint64_t n_;
+};
+
+class SelfSimilarDistribution {
+ public:
+  // skew = h in Gray et al.: (1-h) of the accesses hit the first h*n keys.
+  SelfSimilarDistribution(uint64_t n, double skew)
+      : n_(n), exponent_(std::log(skew) / std::log(1.0 - skew)) {
+    OPTIQL_CHECK(n > 0);
+    OPTIQL_CHECK(skew > 0.0 && skew < 0.5);
+  }
+
+  uint64_t Next(Xoshiro256& rng) const {
+    const double u = rng.NextDouble();
+    auto index = static_cast<uint64_t>(static_cast<double>(n_) *
+                                       std::pow(u, exponent_));
+    return index >= n_ ? n_ - 1 : index;
+  }
+
+ private:
+  uint64_t n_;
+  double exponent_;
+};
+
+class ZipfianDistribution {
+ public:
+  // Gray et al.'s approximate Zipf sampler: rank ~ n^U gives a 1/rank-ish
+  // frequency law without precomputing harmonic sums over huge n.
+  // theta in (0, 1); larger = more skew.
+  ZipfianDistribution(uint64_t n, double theta)
+      : n_(n),
+        alpha_(1.0 / (1.0 - theta)),
+        zetan_(Zeta(n, theta)),
+        theta_(theta),
+        eta_((1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+             (1.0 - Zeta(2, theta) / zetan_)) {
+    OPTIQL_CHECK(n > 0);
+    OPTIQL_CHECK(theta > 0.0 && theta < 1.0);
+  }
+
+  uint64_t Next(Xoshiro256& rng) const {
+    // Standard YCSB rejection-free inversion (Gray et al. Fig. 6).
+    const double u = rng.NextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    auto index = static_cast<uint64_t>(
+        static_cast<double>(n_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return index >= n_ ? n_ - 1 : index;
+  }
+
+ private:
+  // Truncated zeta: for large n an exact sum is too slow, so cap the terms;
+  // the tail contribution is negligible for benchmark purposes.
+  static double Zeta(uint64_t n, double theta) {
+    const uint64_t terms = n < 10'000'000 ? n : 10'000'000;
+    double sum = 0;
+    for (uint64_t i = 1; i <= terms; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  uint64_t n_;
+  double alpha_;
+  double zetan_;
+  double theta_;
+  double eta_;
+};
+
+}  // namespace optiql
+
+#endif  // OPTIQL_WORKLOAD_DISTRIBUTIONS_H_

@@ -1,0 +1,46 @@
+// Key-space construction for the index benchmarks (§7.1, §7.6):
+//   * Dense keys: 0..n-1 — stresses the locks maximally (hot keys share
+//     index leaves) and lets ART fully materialize its last levels.
+//   * Sparse keys: a fixed bijective scramble of 0..n-1 over the full
+//     64-bit space — triggers ART's lazy expansion / path compression
+//     (Figure 13).
+//
+// The big-endian transform makes integer ordering match byte-wise ordering,
+// as ART requires (Leis et al. §IV.B "binary-comparable keys").
+#ifndef OPTIQL_WORKLOAD_KEY_GENERATOR_H_
+#define OPTIQL_WORKLOAD_KEY_GENERATOR_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace optiql {
+
+enum class KeySpace {
+  kDense,
+  kSparse,
+};
+
+// Fibonacci-style bijective scramble (odd multiplier => invertible mod 2^64).
+inline uint64_t ScrambleKey(uint64_t i) {
+  return i * 0x9E3779B97F4A7C15ULL;
+}
+
+// Maps a logical record index to its key under the chosen key space.
+inline uint64_t MakeKey(uint64_t index, KeySpace space) {
+  return space == KeySpace::kDense ? index : ScrambleKey(index);
+}
+
+// Encodes an integer key as 8 binary-comparable (big-endian) bytes.
+inline uint64_t ToBigEndian(uint64_t key) {
+  if constexpr (std::endian::native == std::endian::little) {
+    return __builtin_bswap64(key);
+  } else {
+    return key;
+  }
+}
+
+inline uint64_t FromBigEndian(uint64_t key) { return ToBigEndian(key); }
+
+}  // namespace optiql
+
+#endif  // OPTIQL_WORKLOAD_KEY_GENERATOR_H_

@@ -1,0 +1,104 @@
+// Multithreaded trace replay against any index with the repo's point-op
+// interface (B+-tree style or ART's *Int style). Ops are partitioned
+// round-robin across threads; each thread replays its slice in order.
+#ifndef OPTIQL_WORKLOAD_TRACE_REPLAY_H_
+#define OPTIQL_WORKLOAD_TRACE_REPLAY_H_
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "harness/index_bench.h"
+#include "workload/trace.h"
+
+namespace optiql {
+
+namespace internal {
+
+// Scan support is optional (ART has none); detect it.
+template <class Tree>
+concept HasScan = requires(Tree t, uint64_t k,
+                           std::vector<std::pair<uint64_t, uint64_t>>& out) {
+  { t.Scan(k, size_t{1}, out) } -> std::same_as<size_t>;
+};
+
+}  // namespace internal
+
+template <class Tree>
+ReplayResult ReplayTrace(Tree& tree, const Trace& trace, int threads = 1) {
+  std::vector<ReplayResult> partials(static_cast<size_t>(threads));
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      ReplayResult& stats = partials[static_cast<size_t>(t)];
+      std::vector<std::pair<uint64_t, uint64_t>> scan_buffer;
+      const auto& ops = trace.ops();
+      for (size_t i = static_cast<size_t>(t); i < ops.size();
+           i += static_cast<size_t>(threads)) {
+        const TraceOp& op = ops[i];
+        switch (op.kind) {
+          case TraceOp::Kind::kLookup: {
+            uint64_t out = 0;
+            ++stats.lookups;
+            if (internal::IndexLookup(tree, op.key, out)) {
+              ++stats.lookup_hits;
+            }
+            break;
+          }
+          case TraceOp::Kind::kInsert:
+            ++stats.inserts;
+            if (internal::IndexInsert(tree, op.key, op.value)) {
+              ++stats.insert_ok;
+            }
+            break;
+          case TraceOp::Kind::kUpdate:
+            ++stats.updates;
+            if (internal::IndexUpdate(tree, op.key, op.value)) {
+              ++stats.update_ok;
+            }
+            break;
+          case TraceOp::Kind::kRemove:
+            ++stats.removes;
+            if (internal::IndexRemove(tree, op.key)) {
+              ++stats.remove_ok;
+            }
+            break;
+          case TraceOp::Kind::kScan:
+            ++stats.scans;
+            if constexpr (internal::HasScan<Tree>) {
+              stats.scanned_pairs += tree.Scan(
+                  op.key, static_cast<size_t>(op.value), scan_buffer);
+            } else {
+              // Indexes without range support treat scans as lookups.
+              uint64_t out = 0;
+              internal::IndexLookup(tree, op.key, out);
+            }
+            break;
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const auto end = std::chrono::steady_clock::now();
+
+  ReplayResult total;
+  for (const ReplayResult& p : partials) {
+    total.lookups += p.lookups;
+    total.lookup_hits += p.lookup_hits;
+    total.inserts += p.inserts;
+    total.insert_ok += p.insert_ok;
+    total.updates += p.updates;
+    total.update_ok += p.update_ok;
+    total.removes += p.removes;
+    total.remove_ok += p.remove_ok;
+    total.scans += p.scans;
+    total.scanned_pairs += p.scanned_pairs;
+  }
+  total.seconds = std::chrono::duration<double>(end - start).count();
+  return total;
+}
+
+}  // namespace optiql
+
+#endif  // OPTIQL_WORKLOAD_TRACE_REPLAY_H_

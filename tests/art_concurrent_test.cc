@@ -1,0 +1,209 @@
+// Concurrent ART stress across synchronization policies: disjoint inserts,
+// racing same-key inserts, reader consistency under updates and node
+// growth, churn with removes, and contention-expansion under load.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "index/art.h"
+#include "index/art_coupling.h"
+
+namespace optiql {
+namespace {
+
+using OlcArt = ArtTree<ArtOlcPolicy>;
+using OptiQlArt = ArtTree<ArtOptiQlPolicy<OptiQL>>;
+using OptiQlNorArt = ArtTree<ArtOptiQlPolicy<OptiQLNor>>;
+using McsRwArt = ArtCouplingTree<McsRwLock>;
+using PthreadArt = ArtCouplingTree<SharedMutexLock>;
+
+template <class Tree>
+class ArtConcurrentTest : public ::testing::Test {};
+
+using ArtTypes = ::testing::Types<OlcArt, OptiQlArt, OptiQlNorArt, McsRwArt,
+                                  PthreadArt>;
+TYPED_TEST_SUITE(ArtConcurrentTest, ArtTypes);
+
+TYPED_TEST(ArtConcurrentTest, DisjointConcurrentInserts) {
+  TypeParam tree;
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 2500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tree, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        const uint64_t key = static_cast<uint64_t>(t) * kPerThread + i;
+        ASSERT_TRUE(tree.InsertInt(key, key + 1));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(tree.Size(), kThreads * kPerThread);
+  tree.CheckInvariants();
+  for (uint64_t key = 0; key < kThreads * kPerThread; ++key) {
+    uint64_t out = 0;
+    ASSERT_TRUE(tree.LookupInt(key, out)) << key;
+    ASSERT_EQ(out, key + 1);
+  }
+}
+
+TYPED_TEST(ArtConcurrentTest, DisjointConcurrentSparseInserts) {
+  // Sparse keys: concurrent leaf forks and prefix splits everywhere.
+  TypeParam tree;
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tree, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        const uint64_t key =
+            ScrambleKey(static_cast<uint64_t>(t) * kPerThread + i);
+        ASSERT_TRUE(tree.InsertInt(key, key));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(tree.Size(), kThreads * kPerThread);
+  tree.CheckInvariants();
+  for (uint64_t i = 0; i < kThreads * kPerThread; ++i) {
+    uint64_t out = 0;
+    ASSERT_TRUE(tree.LookupInt(ScrambleKey(i), out)) << i;
+    ASSERT_EQ(out, ScrambleKey(i));
+  }
+}
+
+TYPED_TEST(ArtConcurrentTest, RacingInsertsOfSameKeysExactlyOneWins) {
+  TypeParam tree;
+  constexpr int kThreads = 4;
+  constexpr uint64_t kKeys = 1500;
+  std::atomic<uint64_t> wins{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      uint64_t local = 0;
+      for (uint64_t key = 0; key < kKeys; ++key) {
+        if (tree.InsertInt(ScrambleKey(key), key)) ++local;
+      }
+      wins.fetch_add(local, std::memory_order_acq_rel);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(wins.load(), kKeys);
+  EXPECT_EQ(tree.Size(), kKeys);
+  tree.CheckInvariants();
+}
+
+TYPED_TEST(ArtConcurrentTest, ReadersConsistentDuringGrowthAndUpdates) {
+  TypeParam tree;
+  constexpr uint64_t kKeys = 300;
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    ASSERT_TRUE(tree.InsertInt(k, k * 1000));
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<bool> wrong{false};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&, r] {
+      Xoshiro256 rng(static_cast<uint64_t>(r) + 1);
+      while (!stop.load(std::memory_order_acquire)) {
+        const uint64_t key = rng.NextBounded(kKeys);
+        uint64_t out = 0;
+        if (!tree.LookupInt(key, out) || out % 1000 != 0 ||
+            (out / 1000) % kKeys != key) {
+          wrong.store(true, std::memory_order_release);
+        }
+      }
+    });
+  }
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 2; ++w) {
+    writers.emplace_back([&, w] {
+      Xoshiro256 rng(static_cast<uint64_t>(w) + 50);
+      for (int i = 0; i < 6000; ++i) {
+        const uint64_t key = rng.NextBounded(kKeys);
+        ASSERT_TRUE(
+            tree.UpdateInt(key, (key + kKeys * rng.NextBounded(500)) * 1000));
+      }
+    });
+  }
+  // A third writer grows the tree with new keys to force node replacement
+  // while readers are active.
+  std::thread grower([&] {
+    for (uint64_t k = kKeys; k < kKeys + 3000; ++k) {
+      ASSERT_TRUE(tree.InsertInt(ScrambleKey(k), 1000 * kKeys));
+    }
+  });
+
+  for (auto& t : writers) t.join();
+  grower.join();
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  EXPECT_FALSE(wrong.load());
+  tree.CheckInvariants();
+}
+
+TYPED_TEST(ArtConcurrentTest, InsertRemoveChurn) {
+  TypeParam tree;
+  constexpr int kThreads = 4;
+  constexpr uint64_t kSpacePerThread = 400;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tree, t] {
+      const uint64_t base = static_cast<uint64_t>(t) * kSpacePerThread;
+      Xoshiro256 rng(static_cast<uint64_t>(t) + 3);
+      std::set<uint64_t> mine;
+      for (int i = 0; i < 5000; ++i) {
+        const uint64_t key =
+            ScrambleKey(base + rng.NextBounded(kSpacePerThread));
+        if (rng.NextBounded(2) == 0) {
+          ASSERT_EQ(tree.InsertInt(key, key), mine.insert(key).second);
+        } else {
+          ASSERT_EQ(tree.RemoveInt(key), mine.erase(key) == 1);
+        }
+      }
+      for (uint64_t i = base; i < base + kSpacePerThread; ++i) {
+        uint64_t out = 0;
+        ASSERT_EQ(tree.LookupInt(ScrambleKey(i), out),
+                  mine.count(ScrambleKey(i)) == 1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  tree.CheckInvariants();
+}
+
+TEST(ArtConcurrentExpansionTest, HotKeyUpdatesUnderContentionExpand) {
+  OptiQlArt tree(/*contention_threshold=*/8);
+  // Sparse keys: hot leaves are lazily expanded.
+  constexpr uint64_t kHotKeys = 4;
+  for (uint64_t i = 0; i < 64; ++i) {
+    ASSERT_TRUE(tree.InsertInt(ScrambleKey(i), i));
+  }
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 rng(static_cast<uint64_t>(t) + 9);
+      for (int i = 0; i < 4000; ++i) {
+        const uint64_t key = ScrambleKey(rng.NextBounded(kHotKeys));
+        ASSERT_TRUE(tree.UpdateInt(key, static_cast<uint64_t>(i)));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_GT(tree.ContentionExpansions(), 0u);
+  tree.CheckInvariants();
+  for (uint64_t i = 0; i < 64; ++i) {
+    uint64_t out = 0;
+    ASSERT_TRUE(tree.LookupInt(ScrambleKey(i), out));
+  }
+}
+
+}  // namespace
+}  // namespace optiql

@@ -1,0 +1,115 @@
+// ART node shrinking on remove (adaptivity in both directions): node types
+// step back down as children leave, the tree stays correct through
+// grow/shrink cycles, and concurrent readers survive shrink replacements.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "index/art.h"
+
+namespace optiql {
+namespace {
+
+using OlcArt = ArtTree<ArtOlcPolicy>;
+using OptiQlArt = ArtTree<ArtOptiQlPolicy<OptiQL>>;
+
+template <class Tree>
+class ArtShrinkTest : public ::testing::Test {};
+
+using ShrinkTypes = ::testing::Types<OlcArt, OptiQlArt>;
+TYPED_TEST_SUITE(ArtShrinkTest, ShrinkTypes);
+
+TYPED_TEST(ArtShrinkTest, NodeTypesStepDownAsKeysLeave) {
+  TypeParam tree;
+  // 200 keys under one last-level node: forces a Node256 there.
+  for (uint64_t k = 0; k < 200; ++k) {
+    ASSERT_TRUE(tree.InsertInt(k, k));
+  }
+  auto census = tree.NodeTypeCensus();
+  ASSERT_GE(census[3], 2u);  // Fixed root + the grown last-level node.
+
+  // Remove down to 20 keys: the last-level Node256 must shrink (≤40
+  // children triggers 256→48; ≤12 triggers 48→16).
+  for (uint64_t k = 20; k < 200; ++k) {
+    ASSERT_TRUE(tree.RemoveInt(k));
+  }
+  census = tree.NodeTypeCensus();
+  EXPECT_EQ(census[3], 1u);  // Only the fixed root remains a Node256.
+  tree.CheckInvariants();
+
+  // Down to 2 keys: ends as a Node4.
+  for (uint64_t k = 2; k < 20; ++k) {
+    ASSERT_TRUE(tree.RemoveInt(k));
+  }
+  census = tree.NodeTypeCensus();
+  EXPECT_EQ(census[0] + census[1], census[0] + census[1]);  // Sanity.
+  EXPECT_EQ(census[3], 1u);
+  EXPECT_EQ(census[2], 0u);  // No Node48 left.
+  uint64_t out = 0;
+  ASSERT_TRUE(tree.LookupInt(0, out));
+  ASSERT_TRUE(tree.LookupInt(1, out));
+  tree.CheckInvariants();
+}
+
+TYPED_TEST(ArtShrinkTest, GrowShrinkCyclesStayCorrect) {
+  TypeParam tree;
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    for (uint64_t k = 0; k < 300; ++k) {
+      ASSERT_TRUE(tree.InsertInt(k, k + static_cast<uint64_t>(cycle)));
+    }
+    tree.CheckInvariants();
+    for (uint64_t k = 0; k < 300; ++k) {
+      ASSERT_TRUE(tree.RemoveInt(k));
+    }
+    EXPECT_EQ(tree.Size(), 0u);
+    tree.CheckInvariants();
+  }
+}
+
+TYPED_TEST(ArtShrinkTest, ReadersSurviveConcurrentShrinks) {
+  TypeParam tree;
+  constexpr uint64_t kStable = 8;  // Low keys that never leave.
+  for (uint64_t k = 0; k < kStable; ++k) {
+    ASSERT_TRUE(tree.InsertInt(k, k * 7));
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<bool> bad{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&, r] {
+      Xoshiro256 rng(static_cast<uint64_t>(r) + 1);
+      while (!stop.load(std::memory_order_acquire)) {
+        const uint64_t key = rng.NextBounded(kStable);
+        uint64_t out = 0;
+        if (!tree.LookupInt(key, out) || out != key * 7) {
+          bad.store(true, std::memory_order_release);
+        }
+      }
+    });
+  }
+  // Churners repeatedly fill and drain the same node range, driving
+  // grow→shrink→grow transitions around the stable keys.
+  std::vector<std::thread> churners;
+  for (int c = 0; c < 2; ++c) {
+    churners.emplace_back([&, c] {
+      for (int cycle = 0; cycle < 60; ++cycle) {
+        const uint64_t base =
+            kStable + static_cast<uint64_t>(c) * 128;
+        for (uint64_t k = 0; k < 100; ++k) tree.InsertInt(base + k, k);
+        for (uint64_t k = 0; k < 100; ++k) tree.RemoveInt(base + k);
+      }
+    });
+  }
+  for (auto& t : churners) t.join();
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  EXPECT_FALSE(bad.load());
+  EXPECT_EQ(tree.Size(), kStable);
+  tree.CheckInvariants();
+}
+
+}  // namespace
+}  // namespace optiql

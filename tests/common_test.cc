@@ -1,0 +1,73 @@
+// Unit tests for the common substrate: spin policy, backoff, and the
+// platform constants the lock layouts rely on.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "common/backoff.h"
+#include "common/platform.h"
+#include "common/random.h"
+
+namespace optiql {
+namespace {
+
+TEST(SpinWaitTest, CountsIterations) {
+  SpinWait wait;
+  EXPECT_EQ(wait.count(), 0u);
+  for (int i = 0; i < 10; ++i) wait.Spin();
+  EXPECT_EQ(wait.count(), 10u);
+  wait.Reset();
+  EXPECT_EQ(wait.count(), 0u);
+}
+
+TEST(SpinWaitTest, CrossesYieldThresholdWithoutIncident) {
+  SpinWait wait;
+  for (uint32_t i = 0; i < 2 * SpinWait::kSpinsBeforeYield; ++i) {
+    wait.Spin();  // Past the threshold this calls sched_yield.
+  }
+  EXPECT_EQ(wait.count(), 2 * SpinWait::kSpinsBeforeYield);
+}
+
+TEST(BackoffTest, ExponentialBackoffTerminatesAndResets) {
+  ExponentialBackoff backoff;
+  for (int i = 0; i < 20; ++i) backoff.Pause();  // Reaches the cap.
+  backoff.Reset();
+  backoff.Pause();  // Restarts from the minimum.
+}
+
+TEST(BackoffTest, NoBackoffIsAThinSpinWait) {
+  NoBackoff backoff;
+  for (int i = 0; i < 5; ++i) backoff.Pause();
+  backoff.Reset();
+}
+
+TEST(PlatformTest, CachelineConstants) {
+  EXPECT_EQ(kCachelineSize, 64u);
+  struct OPTIQL_CACHELINE_ALIGNED Padded {
+    char c;
+  };
+  EXPECT_EQ(alignof(Padded), kCachelineSize);
+  EXPECT_EQ(sizeof(Padded), kCachelineSize);
+}
+
+TEST(PlatformTest, PauseAndYieldAreCallable) {
+  CpuPause();
+  CpuYield();
+}
+
+TEST(RandomTest, DistinctSeedsGiveDistinctStreams) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RandomTest, NextBoundedOfOneIsAlwaysZero) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.NextBounded(1), 0u);
+}
+
+}  // namespace
+}  // namespace optiql

@@ -1,0 +1,148 @@
+// Epoch-based reclamation: guard nesting, deferred deletion, safety against
+// active readers, and concurrent churn.
+#include "sync/epoch.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace optiql {
+namespace {
+
+struct TrackedObject {
+  explicit TrackedObject(std::atomic<int>& counter) : deleted(counter) {}
+  ~TrackedObject() { deleted.fetch_add(1, std::memory_order_acq_rel); }
+  std::atomic<int>& deleted;
+};
+
+// Each test runs in its own thread so it gets a fresh slot against a fresh
+// private manager (a thread binds to one manager for its lifetime).
+void RunInFreshThread(void (*body)(EpochManager&)) {
+  EpochManager manager;
+  std::thread t([&] { body(manager); });
+  t.join();
+}
+
+TEST(EpochTest, EnterExitNesting) {
+  RunInFreshThread(+[](EpochManager& manager) {
+    manager.Enter();
+    manager.Enter();
+    manager.Exit();
+    manager.Exit();
+  });
+}
+
+TEST(EpochTest, RetireRunsDeleterOnceWhenQuiescent) {
+  static std::atomic<int> deleted{0};
+  deleted = 0;
+  RunInFreshThread(+[](EpochManager& manager) {
+    {
+      EpochGuard guard(manager);
+      manager.Retire(new TrackedObject(deleted));
+    }
+    // Force enough epoch advancement, then reclaim with no active readers.
+    for (int i = 0; i < 3; ++i) {
+      EpochGuard guard(manager);
+      manager.Retire(new TrackedObject(deleted));
+    }
+    manager.ReclaimIfPossible();
+    manager.ReclaimAllUnsafe();
+  });
+  EXPECT_EQ(deleted.load(), 4);
+}
+
+TEST(EpochTest, NotReclaimedWhileReaderActive) {
+  static std::atomic<int> deleted{0};
+  deleted = 0;
+  RunInFreshThread(+[](EpochManager& manager) {
+    std::atomic<bool> reader_in{false};
+    std::atomic<bool> release_reader{false};
+    std::thread reader([&] {
+      EpochGuard guard(manager);
+      reader_in.store(true, std::memory_order_release);
+      while (!release_reader.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+    });
+    while (!reader_in.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+
+    {
+      EpochGuard guard(manager);
+      manager.Retire(new TrackedObject(deleted));
+    }
+    {
+      EpochGuard guard(manager);
+      EXPECT_EQ(manager.ReclaimIfPossible(), 0u);
+    }
+    EXPECT_EQ(deleted.load(), 0);  // Reader pins the epoch.
+
+    release_reader.store(true, std::memory_order_release);
+    reader.join();
+    EXPECT_EQ(manager.ReclaimAllUnsafe(), 1u);
+  });
+  EXPECT_EQ(deleted.load(), 1);
+}
+
+TEST(EpochTest, EpochAdvancesWithRetirementVolume) {
+  RunInFreshThread(+[](EpochManager& manager) {
+    const uint64_t before = manager.CurrentEpoch();
+    EpochGuard guard(manager);
+    static std::atomic<int> sink{0};
+    for (uint32_t i = 0; i < 3 * EpochManager::kRetiresPerEpochAdvance; ++i) {
+      manager.Retire(new TrackedObject(sink));
+    }
+    EXPECT_GE(manager.CurrentEpoch(), before + 2);
+    manager.ReclaimAllUnsafe();
+  });
+}
+
+TEST(EpochTest, ConcurrentChurnReclaimsEverythingEventually) {
+  static std::atomic<int> deleted{0};
+  static std::atomic<int> created{0};
+  deleted = 0;
+  created = 0;
+  {
+    EpochManager manager;
+    constexpr int kThreads = 4;
+    constexpr int kRounds = 800;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&manager] {
+        for (int i = 0; i < kRounds; ++i) {
+          EpochGuard guard(manager);
+          manager.Retire(new TrackedObject(deleted));
+          created.fetch_add(1, std::memory_order_relaxed);
+        }
+        manager.ReclaimIfPossible();
+        // Whatever remains pinned is drained below.
+        manager.ReclaimAllUnsafe();
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  EXPECT_EQ(created.load(), 4 * 800);
+  EXPECT_EQ(deleted.load(), created.load());
+}
+
+TEST(EpochTest, GuardIsReentrantAndRetireWorksNested) {
+  static std::atomic<int> deleted{0};
+  deleted = 0;
+  RunInFreshThread(+[](EpochManager& manager) {
+    EpochGuard outer(manager);
+    {
+      EpochGuard inner(manager);
+      manager.Retire(new TrackedObject(deleted));
+    }
+    // Outer guard still active: nothing reclaimed by Exit of inner.
+    EXPECT_EQ(deleted.load(), 0);
+    manager.ReclaimAllUnsafe();
+  });
+  EXPECT_EQ(deleted.load(), 1);
+}
+
+}  // namespace
+}  // namespace optiql

@@ -1,0 +1,133 @@
+// Guarded<T, Lock> closure API: read/write semantics, retry-on-invalidation
+// behaviour, void and value-returning closures, and concurrent consistency.
+#include "core/guarded.h"
+
+#include "locks/optlock.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace optiql {
+namespace {
+
+TEST(GuardedTest, LoadStoreRoundTrip) {
+  Guarded<int> guarded(41);
+  EXPECT_EQ(guarded.Load(), 41);
+  guarded.Store(42);
+  EXPECT_EQ(guarded.Load(), 42);
+}
+
+TEST(GuardedTest, DefaultConstructedValue) {
+  Guarded<int> guarded;
+  EXPECT_EQ(guarded.Load(), 0);
+}
+
+TEST(GuardedTest, WithReadReturnsComputedValue) {
+  struct Point {
+    int x = 3;
+    int y = 4;
+  };
+  Guarded<Point> guarded;
+  const int manhattan =
+      guarded.WithRead([](const Point& p) { return p.x + p.y; });
+  EXPECT_EQ(manhattan, 7);
+}
+
+TEST(GuardedTest, VoidClosures) {
+  Guarded<std::string> guarded(std::string("abc"));
+  std::string copy;
+  guarded.WithRead([&](const std::string& s) { copy = s; });
+  EXPECT_EQ(copy, "abc");
+  guarded.WithWrite([](std::string& s) { s += "def"; });
+  EXPECT_EQ(guarded.Load(), "abcdef");
+}
+
+TEST(GuardedTest, WithWriteReturnsResult) {
+  Guarded<int> guarded(10);
+  const int doubled = guarded.WithWrite([](int& v) {
+    v *= 2;
+    return v;
+  });
+  EXPECT_EQ(doubled, 20);
+  EXPECT_EQ(guarded.Load(), 20);
+}
+
+TEST(GuardedTest, WorksWithOptLockToo) {
+  Guarded<int, OptLock> guarded(5);
+  guarded.WithWrite([](int& v) { v = 6; });
+  EXPECT_EQ(guarded.Load(), 6);
+}
+
+TEST(GuardedTest, ConcurrentReadersNeverSeeTornPair) {
+  struct Pair {
+    int64_t a = 0;
+    int64_t b = 0;
+  };
+  Guarded<Pair> guarded;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> torn{false};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        const Pair snapshot = guarded.Load();
+        if (snapshot.a != snapshot.b) {
+          torn.store(true, std::memory_order_release);
+        }
+      }
+    });
+  }
+  std::vector<std::thread> writers;
+  constexpr int kWriters = 2;
+  constexpr int kWrites = 5000;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < kWrites; ++i) {
+        guarded.WithWrite([](Pair& p) {
+          p.a += 1;
+          for (int spin = 0; spin < 8; ++spin) {
+            asm volatile("" ::: "memory");
+          }
+          p.b += 1;
+        });
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  EXPECT_FALSE(torn.load());
+  const Pair final = guarded.Load();
+  EXPECT_EQ(final.a, kWriters * kWrites);
+  EXPECT_EQ(final.b, kWriters * kWrites);
+}
+
+TEST(GuardedTest, ReadClosureMayRunMultipleTimes) {
+  // Self-invalidate: the first read attempt overlaps a write performed from
+  // inside the closure body via a separate thread trigger. Demonstrates the
+  // documented at-least-once contract.
+  Guarded<int> guarded(1);
+  std::atomic<int> runs{0};
+  std::atomic<bool> triggered{false};
+  const int result = guarded.WithRead([&](const int& v) {
+    runs.fetch_add(1, std::memory_order_acq_rel);
+    if (!triggered.exchange(true, std::memory_order_acq_rel)) {
+      // Invalidate the first attempt from another thread (a writer from
+      // this thread would deadlock the read loop only for pessimistic
+      // locks; for optimistic ones it would succeed, but using a separate
+      // thread keeps the contract honest).
+      std::thread([&] { guarded.Store(2); }).join();
+    }
+    return v;
+  });
+  EXPECT_GE(runs.load(), 2);
+  EXPECT_EQ(result, 2);
+}
+
+}  // namespace
+}  // namespace optiql

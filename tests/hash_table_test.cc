@@ -1,0 +1,227 @@
+// Hash table (per-bucket locks) correctness, typed over both sync
+// policies: CRUD, chaining collisions, oracle fuzz, and concurrent stress
+// with hot buckets.
+#include "index/hash_table.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+
+namespace optiql {
+namespace {
+
+using OlcHash = HashTable<HashOlcPolicy>;
+using OptiQlHash = HashTable<HashOptiQlPolicy<OptiQL>>;
+using OptiQlNorHash = HashTable<HashOptiQlPolicy<OptiQLNor>>;
+
+template <class Table>
+class HashTableTest : public ::testing::Test {};
+
+using HashTypes = ::testing::Types<OlcHash, OptiQlHash, OptiQlNorHash>;
+TYPED_TEST_SUITE(HashTableTest, HashTypes);
+
+TYPED_TEST(HashTableTest, EmptyLookupMisses) {
+  TypeParam table(64);
+  uint64_t out = 0;
+  EXPECT_FALSE(table.Lookup(1, out));
+  EXPECT_EQ(table.Size(), 0u);
+  EXPECT_EQ(table.BucketCount(), 64u);
+}
+
+TYPED_TEST(HashTableTest, BucketCountRoundsToPowerOfTwo) {
+  TypeParam table(100);
+  EXPECT_EQ(table.BucketCount(), 128u);
+}
+
+TYPED_TEST(HashTableTest, BasicCrud) {
+  TypeParam table(64);
+  EXPECT_TRUE(table.Insert(1, 10));
+  EXPECT_FALSE(table.Insert(1, 11));  // Duplicate.
+  uint64_t out = 0;
+  ASSERT_TRUE(table.Lookup(1, out));
+  EXPECT_EQ(out, 10u);
+  EXPECT_TRUE(table.Update(1, 12));
+  ASSERT_TRUE(table.Lookup(1, out));
+  EXPECT_EQ(out, 12u);
+  EXPECT_FALSE(table.Update(2, 1));
+  table.Upsert(2, 20);
+  ASSERT_TRUE(table.Lookup(2, out));
+  EXPECT_EQ(out, 20u);
+  table.Upsert(2, 21);
+  ASSERT_TRUE(table.Lookup(2, out));
+  EXPECT_EQ(out, 21u);
+  EXPECT_TRUE(table.Remove(1));
+  EXPECT_FALSE(table.Remove(1));
+  EXPECT_FALSE(table.Lookup(1, out));
+  EXPECT_EQ(table.Size(), 1u);
+  table.CheckInvariants();
+}
+
+TYPED_TEST(HashTableTest, CollisionChains) {
+  // 4 buckets, many keys: every bucket develops a chain.
+  TypeParam table(4);
+  constexpr uint64_t kKeys = 200;
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    ASSERT_TRUE(table.Insert(k, k * 2));
+  }
+  EXPECT_EQ(table.Size(), kKeys);
+  table.CheckInvariants();
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    uint64_t out = 0;
+    ASSERT_TRUE(table.Lookup(k, out)) << k;
+    EXPECT_EQ(out, k * 2);
+  }
+  // Remove from the middle of chains.
+  for (uint64_t k = 0; k < kKeys; k += 3) {
+    ASSERT_TRUE(table.Remove(k));
+  }
+  table.CheckInvariants();
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    uint64_t out = 0;
+    ASSERT_EQ(table.Lookup(k, out), k % 3 != 0);
+  }
+}
+
+TYPED_TEST(HashTableTest, OracleFuzz) {
+  TypeParam table(256);
+  std::map<uint64_t, uint64_t> oracle;
+  Xoshiro256 rng(4242);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t key = rng.NextBounded(500);
+    const uint64_t value = rng.Next();
+    switch (rng.NextBounded(4)) {
+      case 0:
+        ASSERT_EQ(table.Insert(key, value),
+                  oracle.emplace(key, value).second);
+        break;
+      case 1: {
+        auto it = oracle.find(key);
+        ASSERT_EQ(table.Update(key, value), it != oracle.end());
+        if (it != oracle.end()) it->second = value;
+        break;
+      }
+      case 2:
+        ASSERT_EQ(table.Remove(key), oracle.erase(key) == 1);
+        break;
+      case 3: {
+        uint64_t out = 0;
+        auto it = oracle.find(key);
+        ASSERT_EQ(table.Lookup(key, out), it != oracle.end());
+        if (it != oracle.end()) {
+          ASSERT_EQ(out, it->second);
+        }
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(table.Size(), oracle.size());
+  table.CheckInvariants();
+}
+
+TYPED_TEST(HashTableTest, ConcurrentDisjointInserts) {
+  TypeParam table(1024);
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 3000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&table, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        const uint64_t key = static_cast<uint64_t>(t) * kPerThread + i;
+        ASSERT_TRUE(table.Insert(key, key));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(table.Size(), kThreads * kPerThread);
+  table.CheckInvariants();
+}
+
+TYPED_TEST(HashTableTest, HotBucketStress) {
+  // Tiny table: every operation contends on a handful of bucket locks —
+  // the OptiQL-vs-OptLock scenario in miniature. Readers must never see a
+  // value outside the writer encoding.
+  TypeParam table(2);
+  constexpr uint64_t kKeys = 16;
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    ASSERT_TRUE(table.Insert(k, k << 32));
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<bool> bad{false};
+  std::vector<std::thread> threads;
+  for (int r = 0; r < 2; ++r) {
+    threads.emplace_back([&, r] {
+      Xoshiro256 rng(static_cast<uint64_t>(r) + 1);
+      while (!stop.load(std::memory_order_acquire)) {
+        const uint64_t key = rng.NextBounded(kKeys);
+        uint64_t out = 0;
+        if (!table.Lookup(key, out) || (out >> 32) != key) {
+          bad.store(true, std::memory_order_release);
+        }
+      }
+    });
+  }
+  for (int w = 0; w < 3; ++w) {
+    threads.emplace_back([&, w] {
+      Xoshiro256 rng(static_cast<uint64_t>(w) + 99);
+      for (int i = 0; i < 5000; ++i) {
+        const uint64_t key = rng.NextBounded(kKeys);
+        ASSERT_TRUE(
+            table.Update(key, (key << 32) | (rng.Next() & 0xFFFFFFFF)));
+      }
+    });
+  }
+  for (size_t i = 2; i < threads.size(); ++i) threads[i].join();
+  stop.store(true, std::memory_order_release);
+  threads[0].join();
+  threads[1].join();
+  EXPECT_FALSE(bad.load());
+  table.CheckInvariants();
+}
+
+TYPED_TEST(HashTableTest, InsertRemoveChurnWithConcurrentReaders) {
+  TypeParam table(64);
+  std::atomic<bool> stop{false};
+  std::atomic<bool> bad{false};
+  // Stable keys that never leave; churn keys come and go.
+  for (uint64_t k = 0; k < 32; ++k) ASSERT_TRUE(table.Insert(k, k));
+
+  std::thread reader([&] {
+    Xoshiro256 rng(5);
+    while (!stop.load(std::memory_order_acquire)) {
+      const uint64_t key = rng.NextBounded(32);
+      uint64_t out = 0;
+      if (!table.Lookup(key, out) || out != key) {
+        bad.store(true, std::memory_order_release);
+      }
+    }
+  });
+  std::vector<std::thread> churners;
+  for (int t = 0; t < 3; ++t) {
+    churners.emplace_back([&, t] {
+      std::set<uint64_t> mine;
+      const uint64_t base = 1000 + static_cast<uint64_t>(t) * 1000;
+      Xoshiro256 rng(static_cast<uint64_t>(t) + 7);
+      for (int i = 0; i < 6000; ++i) {
+        const uint64_t key = base + rng.NextBounded(100);
+        if (rng.NextBounded(2) == 0) {
+          ASSERT_EQ(table.Insert(key, key), mine.insert(key).second);
+        } else {
+          ASSERT_EQ(table.Remove(key), mine.erase(key) == 1);
+        }
+      }
+    });
+  }
+  for (auto& t : churners) t.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_FALSE(bad.load());
+  table.CheckInvariants();
+}
+
+}  // namespace
+}  // namespace optiql

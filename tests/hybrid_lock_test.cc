@@ -1,0 +1,172 @@
+// Hybrid latch (Böttcher et al. / paper ref [6]) semantics: three access
+// modes, their exclusion matrix, validation masking of the shared count,
+// and the adaptive fallback policy.
+#include "locks/hybrid_lock.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace optiql {
+namespace {
+
+TEST(HybridLockTest, OptimisticReadOnFreeLock) {
+  HybridLock lock;
+  uint64_t v = 0;
+  EXPECT_TRUE(lock.AcquireSh(v));
+  EXPECT_TRUE(lock.ReleaseSh(v));
+}
+
+TEST(HybridLockTest, WriterInvalidatesOptimisticReader) {
+  HybridLock lock;
+  uint64_t v = 0;
+  ASSERT_TRUE(lock.AcquireSh(v));
+  lock.AcquireEx();
+  lock.ReleaseEx();
+  EXPECT_FALSE(lock.ReleaseSh(v));
+}
+
+TEST(HybridLockTest, PessimisticReaderDoesNotInvalidateOptimistic) {
+  // The defining hybrid property: shared-count churn is masked out of
+  // optimistic validation.
+  HybridLock lock;
+  uint64_t v = 0;
+  ASSERT_TRUE(lock.AcquireSh(v));
+  lock.AcquireShPessimistic();
+  EXPECT_EQ(lock.SharedCount(), 1u);
+  EXPECT_TRUE(lock.ReleaseSh(v));  // Still validates.
+  lock.ReleaseShPessimistic();
+  EXPECT_EQ(lock.SharedCount(), 0u);
+  EXPECT_TRUE(lock.ReleaseSh(v));
+}
+
+TEST(HybridLockTest, PessimisticReadersShare) {
+  HybridLock lock;
+  lock.AcquireShPessimistic();
+  lock.AcquireShPessimistic();
+  EXPECT_EQ(lock.SharedCount(), 2u);
+  EXPECT_FALSE(lock.TryAcquireEx());  // Writers excluded.
+  lock.ReleaseShPessimistic();
+  EXPECT_FALSE(lock.TryAcquireEx());
+  lock.ReleaseShPessimistic();
+  EXPECT_TRUE(lock.TryAcquireEx());
+  lock.ReleaseEx();
+}
+
+TEST(HybridLockTest, WriterExcludesPessimisticReaders) {
+  HybridLock lock;
+  lock.AcquireEx();
+  std::atomic<bool> reader_in{false};
+  std::thread reader([&] {
+    lock.AcquireShPessimistic();
+    reader_in.store(true, std::memory_order_release);
+    lock.ReleaseShPessimistic();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(reader_in.load());
+  lock.ReleaseEx();
+  reader.join();
+  EXPECT_TRUE(reader_in.load());
+}
+
+TEST(HybridLockTest, PessimisticReadersBlockWriter) {
+  HybridLock lock;
+  lock.AcquireShPessimistic();
+  std::atomic<bool> writer_in{false};
+  std::thread writer([&] {
+    lock.AcquireEx();
+    writer_in.store(true, std::memory_order_release);
+    lock.ReleaseEx();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(writer_in.load());
+  lock.ReleaseShPessimistic();
+  writer.join();
+  EXPECT_TRUE(writer_in.load());
+}
+
+TEST(HybridLockTest, UpgradeFailsUnderSharedReaders) {
+  HybridLock lock;
+  uint64_t v = 0;
+  ASSERT_TRUE(lock.AcquireSh(v));
+  lock.AcquireShPessimistic();
+  // Snapshot `v` predates the reader, but the word now carries a nonzero
+  // shared count: the upgrade must fail (writers cannot preempt readers).
+  const uint64_t current = lock.LoadWord();
+  EXPECT_FALSE(lock.TryUpgrade(current));
+  lock.ReleaseShPessimistic();
+  EXPECT_TRUE(lock.TryUpgrade(lock.LoadWord()));
+  lock.ReleaseEx();
+}
+
+TEST(HybridLockTest, HybridReadFallsBackAfterRepeatedInvalidation) {
+  // Deterministic fallback: the read body itself invalidates the snapshot
+  // (write-lock cycle) for each optimistic attempt, so the adaptive policy
+  // must take the pessimistic path. During the fallback the body must NOT
+  // write (a writer would deadlock against our own shared hold), which
+  // also proves the fallback call happens under shared protection.
+  HybridLock lock;
+  int calls = 0;
+  const bool fell_back = lock.ReadCriticalHybrid([&] {
+    if (calls < HybridLock::kOptimisticAttempts) {
+      lock.AcquireEx();
+      lock.ReleaseEx();
+    }
+    ++calls;
+  });
+  EXPECT_TRUE(fell_back);
+  EXPECT_EQ(calls, HybridLock::kOptimisticAttempts + 1);
+  EXPECT_EQ(lock.SharedCount(), 0u);
+}
+
+TEST(HybridLockTest, MixedModeStressInvariant) {
+  HybridLock lock;
+  volatile int64_t a = 0;
+  volatile int64_t b = 0;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> torn{false};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&, r] {
+      while (!stop.load(std::memory_order_acquire)) {
+        int64_t x = 0, y = 0;
+        lock.ReadCriticalHybrid([&] {
+          x = a;
+          y = b;
+        });
+        if (x != y) torn.store(true, std::memory_order_release);
+      }
+    });
+  }
+  std::vector<std::thread> writers;
+  constexpr int kWriters = 2;
+  constexpr int kWrites = 4000;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < kWrites; ++i) {
+        lock.AcquireEx();
+        a = a + 1;
+        for (int spin = 0; spin < 8; ++spin) {
+          asm volatile("" ::: "memory");
+        }
+        b = b + 1;
+        lock.ReleaseEx();
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  EXPECT_FALSE(torn.load());
+  EXPECT_EQ(a, kWriters * kWrites);
+  EXPECT_EQ(b, kWriters * kWrites);
+  EXPECT_EQ(lock.SharedCount(), 0u);
+  EXPECT_FALSE(lock.IsLockedEx());
+}
+
+}  // namespace
+}  // namespace optiql

@@ -1,0 +1,229 @@
+// OptiCLH (the paper's §8 future-work extension) and classic CLH protocol
+// tests: node migration/adoption, version handover through predecessor
+// nodes, the opportunistic-read window, and upgrade semantics.
+#include "core/opticlh.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "locks/clh_lock.h"
+#include "qnode/qnode_pool.h"
+
+namespace optiql {
+namespace {
+
+template <class Cond>
+bool WaitFor(Cond cond, int timeout_ms = 5000) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (!cond()) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::yield();
+  }
+  return true;
+}
+
+TEST(ClhLockTest, UncontendedReusesTheSameNode) {
+  ClhLock lock;
+  QNode* first = lock.AcquireEx();
+  lock.ReleaseEx(first);
+  // The CAS-out release path recycles the node through the thread stack,
+  // so the next acquisition pops the very same node.
+  QNode* second = lock.AcquireEx();
+  EXPECT_EQ(first, second);
+  lock.ReleaseEx(second);
+  EXPECT_FALSE(lock.IsLockedEx());
+}
+
+TEST(ClhLockTest, NodesMigrateAcrossThreadsUnderContention) {
+  // Holder H + waiter W: W must adopt H's node. Verified indirectly: the
+  // pool's outstanding-node count stays balanced after heavy churn.
+  ClhLock lock;
+  const uint32_t before = QNodePool::Instance().in_use();
+  {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&lock] {
+        for (int i = 0; i < 2000; ++i) {
+          QNode* handle = lock.AcquireEx();
+          lock.ReleaseEx(handle);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  EXPECT_FALSE(lock.IsLockedEx());
+  // Threads exited; their caches drained back to the pool.
+  EXPECT_EQ(QNodePool::Instance().in_use(), before);
+}
+
+TEST(OptiClhTest, FreshLockIsFreeAtVersionZero) {
+  OptiCLH lock;
+  EXPECT_EQ(lock.LoadWord(), 0u);
+  EXPECT_FALSE(lock.IsLockedEx());
+}
+
+TEST(OptiClhTest, VersionIncrementsOncePerCriticalSection) {
+  OptiCLH lock;
+  for (uint64_t i = 0; i < 10; ++i) {
+    QNode* handle = lock.AcquireEx();
+    lock.ReleaseEx(handle);
+    EXPECT_EQ(OptiCLH::VersionOf(lock.LoadWord()), i + 1);
+  }
+}
+
+TEST(OptiClhTest, ReaderValidationSemantics) {
+  OptiCLH lock;
+  uint64_t v = 0;
+  ASSERT_TRUE(lock.AcquireSh(v));
+  EXPECT_TRUE(lock.ReleaseSh(v));
+  QNode* handle = lock.AcquireEx();
+  uint64_t v2 = 0;
+  EXPECT_FALSE(lock.AcquireSh(v2));  // Locked, no window.
+  EXPECT_FALSE(lock.ReleaseSh(v));   // Writer active.
+  lock.ReleaseEx(handle);
+  EXPECT_FALSE(lock.ReleaseSh(v));  // Version moved on.
+  ASSERT_TRUE(lock.AcquireSh(v2));
+  EXPECT_NE(v, v2);
+}
+
+TEST(OptiClhTest, HandoverPassesVersionsThroughPredecessorNodes) {
+  OptiCLH lock;
+  QNode* holder = lock.AcquireEx();
+
+  constexpr int kWaiters = 3;
+  std::vector<int> grant_order;
+  std::atomic<int> started{0};
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&, i] {
+      started.fetch_add(1, std::memory_order_acq_rel);
+      QNode* handle = lock.AcquireEx();
+      grant_order.push_back(i);
+      lock.ReleaseEx(handle);
+    });
+    ASSERT_TRUE(WaitFor([&] { return started.load() == i + 1; }));
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  lock.ReleaseEx(holder);
+  for (auto& t : waiters) t.join();
+  EXPECT_EQ(grant_order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(OptiCLH::VersionOf(lock.LoadWord()), 4u);
+  EXPECT_FALSE(lock.IsLockedEx());
+}
+
+TEST(OptiClhTest, OpportunisticWindowOpensDuringHandover) {
+  // W1 holds; W2 queues. When W1 releases, the window opens (FETCH_OR)
+  // until W2's grant closes it (FETCH_AND). With a single-step release
+  // there is no way to freeze the window from outside (no AOR in OptiCLH),
+  // so verify the effects: a reader snapshot taken *before* W1's release
+  // must fail validation, and the version accounting must match OptiQL's.
+  OptiCLH lock;
+  QNode* w1 = lock.AcquireEx();
+  std::atomic<bool> w2_granted{false};
+  std::atomic<bool> release_w2{false};
+  std::thread t2([&] {
+    QNode* w2 = lock.AcquireEx();
+    w2_granted.store(true, std::memory_order_release);
+    while (!release_w2.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    lock.ReleaseEx(w2);
+  });
+  // Wait until W2 is enqueued (word records a different requester node).
+  ASSERT_TRUE(WaitFor([&] {
+    return ((lock.LoadWord() & OptiCLH::kIdMask) >> OptiCLH::kIdShift) !=
+           QNodePool::Instance().ToId(w1);
+  }));
+  lock.ReleaseEx(w1);
+  ASSERT_TRUE(WaitFor([&] { return w2_granted.load(); }));
+  // W2 now holds with the window closed.
+  uint64_t v = 0;
+  EXPECT_FALSE(lock.IsOpReadWindowOpen());
+  EXPECT_FALSE(lock.AcquireSh(v));
+  release_w2.store(true, std::memory_order_release);
+  t2.join();
+  EXPECT_EQ(OptiCLH::VersionOf(lock.LoadWord()), 2u);
+}
+
+TEST(OptiClhTest, TryUpgradeSemantics) {
+  OptiCLH lock;
+  uint64_t v = 0;
+  ASSERT_TRUE(lock.AcquireSh(v));
+  QNode* handle = lock.TryUpgrade(v);
+  ASSERT_NE(handle, nullptr);
+  EXPECT_TRUE(lock.IsLockedEx());
+  EXPECT_EQ(lock.TryUpgrade(v), nullptr);  // Stale snapshot.
+  lock.ReleaseEx(handle);
+  EXPECT_EQ(OptiCLH::VersionOf(lock.LoadWord()), OptiCLH::VersionOf(v) + 1);
+  // Upgrade fails from a locked snapshot.
+  QNode* h2 = lock.AcquireEx();
+  uint64_t locked_word = lock.LoadWord();
+  EXPECT_EQ(lock.TryUpgrade(locked_word), nullptr);
+  lock.ReleaseEx(h2);
+}
+
+TEST(OptiClhTest, TryAcquireExSemantics) {
+  OptiCLH lock;
+  QNode* a = lock.TryAcquireEx();
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(lock.TryAcquireEx(), nullptr);
+  lock.ReleaseEx(a);
+  QNode* b = lock.TryAcquireEx();
+  ASSERT_NE(b, nullptr);
+  lock.ReleaseEx(b);
+}
+
+TEST(OptiClhTest, SeqlockStressMirrorsOptiQl) {
+  OptiCLH lock;
+  volatile int64_t a = 0;
+  volatile int64_t b = 0;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> torn{false};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        uint64_t v;
+        if (!lock.AcquireSh(v)) continue;
+        const int64_t x = a;
+        const int64_t y = b;
+        if (lock.ReleaseSh(v) && x != y) {
+          torn.store(true, std::memory_order_release);
+        }
+      }
+    });
+  }
+  std::vector<std::thread> writers;
+  constexpr int kWriters = 3;
+  constexpr int kWrites = 3000;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < kWrites; ++i) {
+        QNode* handle = lock.AcquireEx();
+        a = a + 1;
+        for (int spin = 0; spin < 8; ++spin) {
+          asm volatile("" ::: "memory");
+        }
+        b = b + 1;
+        lock.ReleaseEx(handle);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  EXPECT_FALSE(torn.load());
+  EXPECT_EQ(a, kWriters * kWrites);
+  EXPECT_EQ(b, kWriters * kWrites);
+  EXPECT_EQ(OptiCLH::VersionOf(lock.LoadWord()),
+            static_cast<uint64_t>(kWriters * kWrites));
+}
+
+}  // namespace
+}  // namespace optiql

@@ -1,0 +1,349 @@
+// OptiQL-specific protocol tests (paper §4–§5): word layout, version
+// handover along the queue, the opportunistic-read window (Figure 4), AOR,
+// the §5.3 ABA scenario, and the upgrade path used by ART.
+#include "core/optiql.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "qnode/qnode_pool.h"
+
+namespace optiql {
+namespace {
+
+// Spins until `cond()` holds or a generous deadline passes.
+template <class Cond>
+bool WaitFor(Cond cond, int timeout_ms = 5000) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (!cond()) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::yield();
+  }
+  return true;
+}
+
+TEST(OptiQlWordTest, LayoutConstants) {
+  EXPECT_EQ(OptiQL::kLockedBit, 1ULL << 63);
+  EXPECT_EQ(OptiQL::kOpReadBit, 1ULL << 62);
+  EXPECT_EQ(OptiQL::kIdShift, 52);
+  // 10 ID bits directly below the status bits; 52 version bits below that.
+  EXPECT_EQ(OptiQL::kIdMask, 0x3FFULL << 52);
+  EXPECT_EQ(OptiQL::kVersionMask, (1ULL << 52) - 1);
+  EXPECT_EQ(OptiQL::kStatusMask & OptiQL::kIdMask, 0u);
+  EXPECT_EQ(OptiQL::kIdMask & OptiQL::kVersionMask, 0u);
+}
+
+TEST(OptiQlTest, FreshLockIsFreeAtVersionZero) {
+  OptiQL lock;
+  EXPECT_EQ(lock.LoadWord(), 0u);
+  EXPECT_FALSE(lock.IsLockedEx());
+  EXPECT_FALSE(lock.IsOpReadWindowOpen());
+}
+
+TEST(OptiQlTest, UncontendedAcquirePublishesIdAndClearsVersion) {
+  OptiQL lock;
+  QNodeGuard guard;
+  lock.AcquireEx(guard.node());
+  const uint64_t word = lock.LoadWord();
+  EXPECT_TRUE(lock.IsLockedEx());
+  EXPECT_FALSE(lock.IsOpReadWindowOpen());
+  EXPECT_EQ((word & OptiQL::kIdMask) >> OptiQL::kIdShift,
+            QNodePool::Instance().ToId(guard.node()));
+  EXPECT_EQ(OptiQL::VersionOf(word), 0u);
+  lock.ReleaseEx(guard.node());
+  EXPECT_EQ(lock.LoadWord(), 1u);  // Free, version 1.
+}
+
+TEST(OptiQlTest, VersionIncrementsOncePerCriticalSection) {
+  OptiQL lock;
+  QNodeGuard guard;
+  for (uint64_t i = 0; i < 10; ++i) {
+    lock.AcquireEx(guard.node());
+    lock.ReleaseEx(guard.node());
+    EXPECT_EQ(OptiQL::VersionOf(lock.LoadWord()), i + 1);
+  }
+}
+
+TEST(OptiQlTest, HandoverPassesIncrementedVersionsFifo) {
+  // Holder + N queued writers: each grant must carry version+1, and grants
+  // must follow queue order.
+  OptiQL lock;
+  QNodeGuard holder;
+  lock.AcquireEx(holder.node());
+
+  constexpr int kWaiters = 4;
+  std::vector<int> grant_order;
+  std::atomic<int> started{0};
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&, i] {
+      QNodeGuard guard;
+      started.fetch_add(1, std::memory_order_acq_rel);
+      lock.AcquireEx(guard.node());
+      grant_order.push_back(i);
+      lock.ReleaseEx(guard.node());
+    });
+    // Let thread i enqueue before starting i+1 so queue order is known.
+    ASSERT_TRUE(WaitFor([&] { return started.load() == i + 1; }));
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  lock.ReleaseEx(holder.node());
+  for (auto& t : waiters) t.join();
+  EXPECT_EQ(grant_order, (std::vector<int>{0, 1, 2, 3}));
+  // 5 critical sections total => version 5.
+  EXPECT_EQ(OptiQL::VersionOf(lock.LoadWord()), 5u);
+  EXPECT_FALSE(lock.IsLockedEx());
+}
+
+TEST(OptiQlTest, OpportunisticReadWindowAdmitsReaders) {
+  // Use AOR to freeze the handover window open: W1 holds, W2 queues with
+  // AcquireExDeferred; when W1 releases, the window opens and stays open
+  // until W2 calls FinishAcquireEx.
+  OptiQL lock;
+  QNodeGuard w1, w2;
+  lock.AcquireEx(w1.node());
+
+  // Readers are locked out while W1 holds.
+  uint64_t v = 0;
+  EXPECT_FALSE(lock.AcquireSh(v));
+
+  std::atomic<bool> w2_granted{false};
+  std::thread t2([&] {
+    lock.AcquireExDeferred(w2.node());
+    // Window intentionally left open: FinishAcquireEx comes later, from the
+    // main thread (AOR contract: no data is modified until then).
+    w2_granted.store(true, std::memory_order_release);
+  });
+  // Wait until W2 is enqueued (the lock word records W2 as latest).
+  ASSERT_TRUE(WaitFor([&] {
+    return ((lock.LoadWord() & OptiQL::kIdMask) >> OptiQL::kIdShift) ==
+           QNodePool::Instance().ToId(w2.node());
+  }));
+
+  lock.ReleaseEx(w1.node());
+  ASSERT_TRUE(WaitFor([&] { return w2_granted.load(); }));
+  t2.join();
+
+  // W2 now owns the lock but the opportunistic window is open: readers are
+  // admitted and validate successfully while nothing is modified.
+  EXPECT_TRUE(lock.IsOpReadWindowOpen());
+  ASSERT_TRUE(lock.AcquireSh(v));
+  EXPECT_EQ(v & OptiQL::kStatusMask, OptiQL::kStatusMask);
+  EXPECT_EQ(OptiQL::VersionOf(v), 1u);  // W1's version.
+  EXPECT_TRUE(lock.ReleaseSh(v));
+
+  // Closing the window invalidates readers that started inside it.
+  uint64_t v_stale = 0;
+  ASSERT_TRUE(lock.AcquireSh(v_stale));
+  lock.FinishAcquireEx(w2.node());
+  EXPECT_FALSE(lock.IsOpReadWindowOpen());
+  EXPECT_FALSE(lock.ReleaseSh(v_stale));
+  EXPECT_FALSE(lock.AcquireSh(v));  // Plain locked state now.
+
+  lock.ReleaseEx(w2.node());
+  EXPECT_EQ(OptiQL::VersionOf(lock.LoadWord()), 2u);
+}
+
+TEST(OptiQlTest, NorVariantNeverOpensWindow) {
+  OptiQLNor lock;
+  QNodeGuard w1, w2;
+  lock.AcquireEx(w1.node());
+
+  std::atomic<bool> w2_granted{false};
+  std::thread t2([&] {
+    lock.AcquireEx(w2.node());
+    w2_granted.store(true, std::memory_order_release);
+    // Hold briefly so the main thread can probe the word.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    lock.ReleaseEx(w2.node());
+  });
+  ASSERT_TRUE(WaitFor([&] {
+    return ((lock.LoadWord() & OptiQLNor::kIdMask) >> OptiQLNor::kIdShift) ==
+           QNodePool::Instance().ToId(w2.node());
+  }));
+  lock.ReleaseEx(w1.node());
+  ASSERT_TRUE(WaitFor([&] { return w2_granted.load(); }));
+  // During W2's tenure (handover happened), no opportunistic window exists.
+  uint64_t v = 0;
+  EXPECT_FALSE(lock.IsOpReadWindowOpen());
+  EXPECT_FALSE(lock.AcquireSh(v));
+  t2.join();
+  EXPECT_EQ(OptiQLNor::VersionOf(lock.LoadWord()), 2u);
+}
+
+TEST(OptiQlTest, AbaScenarioFromPaperSection53) {
+  // Writer W repeatedly increments a counter; reader R snapshots during the
+  // first handover window and validates during a *later* window. Because
+  // the word carries the version (not just status bits), validation fails.
+  OptiQL lock;
+  volatile int64_t counter = 0;
+
+  auto run_critical_section_with_open_window =
+      [&](QNode* self, QNode* successor, std::thread& successor_thread,
+          std::atomic<bool>& successor_granted) {
+        lock.AcquireEx(self);
+        counter = counter + 1;
+        // Queue the successor so release opens a window.
+        successor_thread = std::thread([&lock, successor, &successor_granted] {
+          lock.AcquireExDeferred(successor);
+          successor_granted.store(true, std::memory_order_release);
+        });
+        EXPECT_TRUE(WaitFor([&] {
+          return ((lock.LoadWord() & OptiQL::kIdMask) >> OptiQL::kIdShift) ==
+                 QNodePool::Instance().ToId(successor);
+        }));
+        lock.ReleaseEx(self);
+        EXPECT_TRUE(
+            WaitFor([&] { return successor_granted.load(); }));
+      };
+
+  // Round 1: W1 increments counter to 1, W2 queued; window open at v1.
+  QNodeGuard w1, w2, w3;
+  std::thread t2;
+  std::atomic<bool> w2_granted{false};
+  run_critical_section_with_open_window(w1.node(), w2.node(), t2, w2_granted);
+  t2.join();
+
+  // Reader snapshots during window 1 and reads counter == 1.
+  uint64_t reader_snapshot = 0;
+  ASSERT_TRUE(lock.AcquireSh(reader_snapshot));
+  EXPECT_EQ(counter, 1);
+
+  // Round 2: W2 (already granted, window still open via AOR) closes the
+  // window, increments the counter to 2, and releases with W3 queued,
+  // opening a *new* window.
+  lock.FinishAcquireEx(w2.node());
+  counter = counter + 1;
+  std::thread t3;
+  std::atomic<bool> w3_granted{false};
+  t3 = std::thread([&] {
+    lock.AcquireExDeferred(w3.node());
+    w3_granted.store(true, std::memory_order_release);
+  });
+  ASSERT_TRUE(WaitFor([&] {
+    return ((lock.LoadWord() & OptiQL::kIdMask) >> OptiQL::kIdShift) ==
+           QNodePool::Instance().ToId(w3.node());
+  }));
+  lock.ReleaseEx(w2.node());
+  ASSERT_TRUE(WaitFor([&] { return w3_granted.load(); }));
+  t3.join();
+
+  // Both snapshots have LOCKED|OPREAD set; only the version distinguishes
+  // them. The reader's validation must fail: the counter changed.
+  EXPECT_TRUE(lock.IsOpReadWindowOpen());
+  uint64_t fresh_snapshot = 0;
+  ASSERT_TRUE(lock.AcquireSh(fresh_snapshot));
+  EXPECT_EQ(fresh_snapshot & OptiQL::kStatusMask,
+            reader_snapshot & OptiQL::kStatusMask);
+  EXPECT_NE(OptiQL::VersionOf(fresh_snapshot),
+            OptiQL::VersionOf(reader_snapshot));
+  EXPECT_FALSE(lock.ReleaseSh(reader_snapshot));  // ABA averted.
+  EXPECT_TRUE(lock.ReleaseSh(fresh_snapshot));
+
+  lock.FinishAcquireEx(w3.node());
+  lock.ReleaseEx(w3.node());
+}
+
+TEST(OptiQlTest, TryUpgradeFromFreeSnapshot) {
+  OptiQL lock;
+  QNodeGuard guard;
+  uint64_t v = 0;
+  ASSERT_TRUE(lock.AcquireSh(v));
+  EXPECT_TRUE(lock.TryUpgrade(v, guard.node()));
+  EXPECT_TRUE(lock.IsLockedEx());
+  // A second upgrade attempt with the stale snapshot fails.
+  QNodeGuard other;
+  EXPECT_FALSE(lock.TryUpgrade(v, other.node()));
+  lock.ReleaseEx(guard.node());
+  EXPECT_EQ(OptiQL::VersionOf(lock.LoadWord()), OptiQL::VersionOf(v) + 1);
+}
+
+TEST(OptiQlTest, TryUpgradeFailsAfterInterveningWriter) {
+  OptiQL lock;
+  QNodeGuard a, b;
+  uint64_t v = 0;
+  ASSERT_TRUE(lock.AcquireSh(v));
+  lock.AcquireEx(a.node());
+  lock.ReleaseEx(a.node());
+  EXPECT_FALSE(lock.TryUpgrade(v, b.node()));
+}
+
+TEST(OptiQlTest, TryUpgradeRejectsOpReadSnapshots) {
+  // Snapshots taken during a handover window must not be upgradable: the
+  // grantee already owns the lock.
+  OptiQL lock;
+  QNodeGuard w1, w2, up;
+  lock.AcquireEx(w1.node());
+  std::atomic<bool> w2_granted{false};
+  std::thread t2([&] {
+    lock.AcquireExDeferred(w2.node());
+    w2_granted.store(true, std::memory_order_release);
+  });
+  ASSERT_TRUE(WaitFor([&] {
+    return ((lock.LoadWord() & OptiQL::kIdMask) >> OptiQL::kIdShift) ==
+           QNodePool::Instance().ToId(w2.node());
+  }));
+  lock.ReleaseEx(w1.node());
+  ASSERT_TRUE(WaitFor([&] { return w2_granted.load(); }));
+  t2.join();
+
+  uint64_t v = 0;
+  ASSERT_TRUE(lock.AcquireSh(v));  // Opportunistic snapshot.
+  EXPECT_FALSE(lock.TryUpgrade(v, up.node()));
+
+  lock.FinishAcquireEx(w2.node());
+  lock.ReleaseEx(w2.node());
+}
+
+TEST(OptiQlTest, TryAcquireExSemantics) {
+  OptiQL lock;
+  QNodeGuard a, b;
+  EXPECT_TRUE(lock.TryAcquireEx(a.node()));
+  EXPECT_FALSE(lock.TryAcquireEx(b.node()));
+  lock.ReleaseEx(a.node());
+  EXPECT_TRUE(lock.TryAcquireEx(b.node()));
+  lock.ReleaseEx(b.node());
+}
+
+TEST(OptiQlTest, WritersQueueBehindUpgradedHolder) {
+  // After TryUpgrade, the word carries the upgrader's queue node, so a
+  // subsequent AcquireEx must line up and be granted on release.
+  OptiQL lock;
+  QNodeGuard up;
+  uint64_t v = 0;
+  ASSERT_TRUE(lock.AcquireSh(v));
+  ASSERT_TRUE(lock.TryUpgrade(v, up.node()));
+
+  std::atomic<bool> granted{false};
+  std::thread t([&] {
+    QNodeGuard guard;
+    lock.AcquireEx(guard.node());
+    granted.store(true, std::memory_order_release);
+    lock.ReleaseEx(guard.node());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(granted.load());
+  lock.ReleaseEx(up.node());
+  t.join();
+  EXPECT_TRUE(granted.load());
+  EXPECT_EQ(OptiQL::VersionOf(lock.LoadWord()), OptiQL::VersionOf(v) + 2);
+}
+
+TEST(OptiQlTest, VersionWrapsWithinMask) {
+  // NextVersion masking: versions stay within 52 bits.
+  OptiQL lock;
+  QNodeGuard guard;
+  for (int i = 0; i < 3; ++i) {
+    lock.AcquireEx(guard.node());
+    lock.ReleaseEx(guard.node());
+  }
+  EXPECT_EQ(lock.LoadWord() & ~OptiQL::kVersionMask, 0u);
+}
+
+}  // namespace
+}  // namespace optiql

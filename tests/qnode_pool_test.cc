@@ -1,0 +1,158 @@
+#include "qnode/qnode_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace optiql {
+namespace {
+
+TEST(QNodePoolTest, CapacityAndInitialState) {
+  QNodePool pool(16);
+  EXPECT_EQ(pool.capacity(), 16u);
+  EXPECT_EQ(pool.in_use(), 0u);
+}
+
+TEST(QNodePoolTest, AcquireReturnsResetNodes) {
+  QNodePool pool(8);
+  QNode* node = pool.Acquire();
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(node->next.load(), nullptr);
+  EXPECT_EQ(node->version.load(), QNode::kInvalidVersion);
+  EXPECT_EQ(node->aux.load(), 0u);
+  pool.Release(node);
+}
+
+TEST(QNodePoolTest, AcquireResetsRecycledNodeState) {
+  QNodePool pool(8);
+  QNode* node = pool.Acquire();
+  ASSERT_NE(node, nullptr);
+  node->next.store(node);
+  node->version.store(123);
+  node->aux.store(7);
+  pool.Release(node);
+  QNode* again = pool.Acquire();
+  // LIFO free list: same node comes back, reset.
+  ASSERT_EQ(again, node);
+  EXPECT_EQ(again->next.load(), nullptr);
+  EXPECT_EQ(again->version.load(), QNode::kInvalidVersion);
+  EXPECT_EQ(again->aux.load(), 0u);
+  pool.Release(again);
+}
+
+TEST(QNodePoolTest, IdTranslationRoundTrip) {
+  QNodePool pool(64);
+  std::vector<QNode*> nodes;
+  for (int i = 0; i < 63; ++i) {
+    QNode* node = pool.Acquire();
+    ASSERT_NE(node, nullptr);
+    const uint32_t id = pool.ToId(node);
+    EXPECT_NE(id, QNodePool::kNullId);
+    EXPECT_LT(id, pool.capacity());
+    EXPECT_EQ(pool.ToPtr(id), node);
+    nodes.push_back(node);
+  }
+  for (QNode* node : nodes) pool.Release(node);
+}
+
+TEST(QNodePoolTest, IdsAreUnique) {
+  QNodePool pool(32);
+  std::set<uint32_t> ids;
+  std::vector<QNode*> nodes;
+  while (QNode* node = pool.Acquire()) {
+    EXPECT_TRUE(ids.insert(pool.ToId(node)).second);
+    nodes.push_back(node);
+  }
+  EXPECT_EQ(ids.size(), 31u);  // ID 0 is reserved.
+  for (QNode* node : nodes) pool.Release(node);
+}
+
+TEST(QNodePoolTest, ExhaustionReturnsNull) {
+  QNodePool pool(4);
+  QNode* a = pool.Acquire();
+  QNode* b = pool.Acquire();
+  QNode* c = pool.Acquire();
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(pool.Acquire(), nullptr);
+  pool.Release(b);
+  QNode* again = pool.Acquire();
+  EXPECT_EQ(again, b);
+  pool.Release(a);
+  pool.Release(c);
+  pool.Release(again);
+  EXPECT_EQ(pool.in_use(), 0u);
+}
+
+TEST(QNodePoolTest, InUseTracksOutstandingNodes) {
+  QNodePool pool(16);
+  QNode* a = pool.Acquire();
+  QNode* b = pool.Acquire();
+  EXPECT_EQ(pool.in_use(), 2u);
+  pool.Release(a);
+  EXPECT_EQ(pool.in_use(), 1u);
+  pool.Release(b);
+  EXPECT_EQ(pool.in_use(), 0u);
+}
+
+TEST(QNodePoolTest, NodesAreCachelineAligned) {
+  QNodePool pool(8);
+  QNode* a = pool.Acquire();
+  QNode* b = pool.Acquire();
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(a) % kCachelineSize, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b) % kCachelineSize, 0u);
+  pool.Release(a);
+  pool.Release(b);
+}
+
+TEST(QNodePoolTest, ConcurrentAcquireReleaseIsConsistent) {
+  QNodePool pool(128);
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool] {
+      for (int i = 0; i < kRounds; ++i) {
+        QNode* node = pool.Acquire();
+        ASSERT_NE(node, nullptr);
+        node->aux.store(1);
+        pool.Release(node);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(pool.in_use(), 0u);
+}
+
+TEST(ThreadQNodesTest, ReturnsStableDistinctNodes) {
+  QNode* n0 = ThreadQNodes::Get(0);
+  QNode* n1 = ThreadQNodes::Get(1);
+  ASSERT_NE(n0, nullptr);
+  ASSERT_NE(n1, nullptr);
+  EXPECT_NE(n0, n1);
+  EXPECT_EQ(ThreadQNodes::Get(0), n0);  // Stable per thread.
+  EXPECT_EQ(ThreadQNodes::Get(1), n1);
+}
+
+TEST(ThreadQNodesTest, DifferentThreadsGetDifferentNodes) {
+  QNode* mine = ThreadQNodes::Get(0);
+  QNode* theirs = nullptr;
+  std::thread t([&theirs] { theirs = ThreadQNodes::Get(0); });
+  t.join();
+  EXPECT_NE(mine, theirs);
+}
+
+TEST(ThreadQNodesTest, NodesRecycledAfterThreadExit) {
+  const uint32_t before = QNodePool::Instance().in_use();
+  std::thread t([] { ThreadQNodes::Get(0); });
+  t.join();
+  // The thread's cache destructor returned the node.
+  EXPECT_EQ(QNodePool::Instance().in_use(), before);
+}
+
+}  // namespace
+}  // namespace optiql

@@ -1,0 +1,42 @@
+// TablePrinter formatting behaviour (column alignment, numeric formatting).
+#include "harness/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace optiql {
+namespace {
+
+TEST(TablePrinterTest, FmtFormatsPrecision) {
+  EXPECT_EQ(TablePrinter::Fmt(3.14159), "3.14");
+  EXPECT_EQ(TablePrinter::Fmt(3.14159, 3), "3.142");
+  EXPECT_EQ(TablePrinter::Fmt(0.0, 1), "0.0");
+  EXPECT_EQ(TablePrinter::Fmt(-2.5, 0), "-2");
+}
+
+TEST(TablePrinterTest, PrintsWithoutCrashingOnRaggedRows) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"1"});                    // Short row.
+  table.AddRow({"1", "2", "3", "4"});     // Long row (extra cell ignored).
+  table.AddRow({"wide-cell-content", "x", "y"});
+  testing::internal::CaptureStdout();
+  table.Print();
+  const std::string out = testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("wide-cell-content"), std::string::npos);
+  EXPECT_NE(out.find("a"), std::string::npos);
+  // Separator rule present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ColumnsAlignToWidestCell) {
+  TablePrinter table({"col"});
+  table.AddRow({"abcdef"});
+  testing::internal::CaptureStdout();
+  table.Print();
+  const std::string out = testing::internal::GetCapturedStdout();
+  // Header padded to the widest cell: "col" followed by at least 3 spaces
+  // before the trailing column gap.
+  EXPECT_NE(out.find("col   "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace optiql
