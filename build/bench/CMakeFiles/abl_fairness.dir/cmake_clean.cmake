@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_fairness.dir/abl_fairness.cc.o"
+  "CMakeFiles/abl_fairness.dir/abl_fairness.cc.o.d"
+  "abl_fairness"
+  "abl_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_restarts.dir/abl_restarts.cc.o"
+  "CMakeFiles/abl_restarts.dir/abl_restarts.cc.o.d"
+  "abl_restarts"
+  "abl_restarts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_restarts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

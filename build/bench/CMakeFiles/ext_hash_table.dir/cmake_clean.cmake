@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_hash_table.dir/ext_hash_table.cc.o"
+  "CMakeFiles/ext_hash_table.dir/ext_hash_table.cc.o.d"
+  "ext_hash_table"
+  "ext_hash_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_hash_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_insert_delete.dir/ext_insert_delete.cc.o"
+  "CMakeFiles/ext_insert_delete.dir/ext_insert_delete.cc.o.d"
+  "ext_insert_delete"
+  "ext_insert_delete.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_insert_delete.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_insert_delete.
+# This may be replaced when dependencies are built.

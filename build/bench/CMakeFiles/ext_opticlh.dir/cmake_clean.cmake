@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_opticlh.dir/ext_opticlh.cc.o"
+  "CMakeFiles/ext_opticlh.dir/ext_opticlh.cc.o.d"
+  "ext_opticlh"
+  "ext_opticlh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_opticlh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_ycsb.dir/ext_ycsb.cc.o"
+  "CMakeFiles/ext_ycsb.dir/ext_ycsb.cc.o.d"
+  "ext_ycsb"
+  "ext_ycsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_ycsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_lock_throughput.dir/fig06_lock_throughput.cc.o"
+  "CMakeFiles/fig06_lock_throughput.dir/fig06_lock_throughput.cc.o.d"
+  "fig06_lock_throughput"
+  "fig06_lock_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_lock_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

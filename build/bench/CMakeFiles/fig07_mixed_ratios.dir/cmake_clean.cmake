@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_mixed_ratios.dir/fig07_mixed_ratios.cc.o"
+  "CMakeFiles/fig07_mixed_ratios.dir/fig07_mixed_ratios.cc.o.d"
+  "fig07_mixed_ratios"
+  "fig07_mixed_ratios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_mixed_ratios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

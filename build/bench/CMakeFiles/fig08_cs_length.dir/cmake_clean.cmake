@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_cs_length.dir/fig08_cs_length.cc.o"
+  "CMakeFiles/fig08_cs_length.dir/fig08_cs_length.cc.o.d"
+  "fig08_cs_length"
+  "fig08_cs_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_cs_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

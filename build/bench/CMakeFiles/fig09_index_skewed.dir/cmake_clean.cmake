@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_index_skewed.dir/fig09_index_skewed.cc.o"
+  "CMakeFiles/fig09_index_skewed.dir/fig09_index_skewed.cc.o.d"
+  "fig09_index_skewed"
+  "fig09_index_skewed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_index_skewed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

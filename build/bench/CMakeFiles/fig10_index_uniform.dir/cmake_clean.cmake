@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_index_uniform.dir/fig10_index_uniform.cc.o"
+  "CMakeFiles/fig10_index_uniform.dir/fig10_index_uniform.cc.o.d"
+  "fig10_index_uniform"
+  "fig10_index_uniform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_index_uniform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

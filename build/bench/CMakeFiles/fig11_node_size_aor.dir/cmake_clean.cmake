@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_node_size_aor.dir/fig11_node_size_aor.cc.o"
+  "CMakeFiles/fig11_node_size_aor.dir/fig11_node_size_aor.cc.o.d"
+  "fig11_node_size_aor"
+  "fig11_node_size_aor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_node_size_aor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

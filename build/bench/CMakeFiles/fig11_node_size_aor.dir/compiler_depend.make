@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig11_node_size_aor.
+# This may be replaced when dependencies are built.

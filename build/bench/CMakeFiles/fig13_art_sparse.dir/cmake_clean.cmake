@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_art_sparse.dir/fig13_art_sparse.cc.o"
+  "CMakeFiles/fig13_art_sparse.dir/fig13_art_sparse.cc.o.d"
+  "fig13_art_sparse"
+  "fig13_art_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_art_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

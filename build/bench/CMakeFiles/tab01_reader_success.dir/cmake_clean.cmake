@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_reader_success.dir/tab01_reader_success.cc.o"
+  "CMakeFiles/tab01_reader_success.dir/tab01_reader_success.cc.o.d"
+  "tab01_reader_success"
+  "tab01_reader_success.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_reader_success.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/art_prefix_store.dir/art_prefix_store.cc.o"
+  "CMakeFiles/art_prefix_store.dir/art_prefix_store.cc.o.d"
+  "art_prefix_store"
+  "art_prefix_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/art_prefix_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

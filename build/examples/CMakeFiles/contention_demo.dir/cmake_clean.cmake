@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contention_demo.dir/contention_demo.cc.o"
+  "CMakeFiles/contention_demo.dir/contention_demo.cc.o.d"
+  "contention_demo"
+  "contention_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contention_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

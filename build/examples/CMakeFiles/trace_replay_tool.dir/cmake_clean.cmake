@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_replay_tool.dir/trace_replay_tool.cc.o"
+  "CMakeFiles/trace_replay_tool.dir/trace_replay_tool.cc.o.d"
+  "trace_replay_tool"
+  "trace_replay_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_replay_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/bench_runner.cc" "src/CMakeFiles/optiql.dir/harness/bench_runner.cc.o" "gcc" "src/CMakeFiles/optiql.dir/harness/bench_runner.cc.o.d"
+  "/root/repo/src/harness/table_printer.cc" "src/CMakeFiles/optiql.dir/harness/table_printer.cc.o" "gcc" "src/CMakeFiles/optiql.dir/harness/table_printer.cc.o.d"
+  "/root/repo/src/qnode/qnode_pool.cc" "src/CMakeFiles/optiql.dir/qnode/qnode_pool.cc.o" "gcc" "src/CMakeFiles/optiql.dir/qnode/qnode_pool.cc.o.d"
+  "/root/repo/src/sync/epoch.cc" "src/CMakeFiles/optiql.dir/sync/epoch.cc.o" "gcc" "src/CMakeFiles/optiql.dir/sync/epoch.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/CMakeFiles/optiql.dir/workload/trace.cc.o" "gcc" "src/CMakeFiles/optiql.dir/workload/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

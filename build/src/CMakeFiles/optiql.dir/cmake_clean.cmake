@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optiql.dir/harness/bench_runner.cc.o"
+  "CMakeFiles/optiql.dir/harness/bench_runner.cc.o.d"
+  "CMakeFiles/optiql.dir/harness/table_printer.cc.o"
+  "CMakeFiles/optiql.dir/harness/table_printer.cc.o.d"
+  "CMakeFiles/optiql.dir/qnode/qnode_pool.cc.o"
+  "CMakeFiles/optiql.dir/qnode/qnode_pool.cc.o.d"
+  "CMakeFiles/optiql.dir/sync/epoch.cc.o"
+  "CMakeFiles/optiql.dir/sync/epoch.cc.o.d"
+  "CMakeFiles/optiql.dir/workload/trace.cc.o"
+  "CMakeFiles/optiql.dir/workload/trace.cc.o.d"
+  "liboptiql.a"
+  "liboptiql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optiql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/guarded_test.cc" "tests/CMakeFiles/locks_test.dir/guarded_test.cc.o" "gcc" "tests/CMakeFiles/locks_test.dir/guarded_test.cc.o.d"
+  "/root/repo/tests/hybrid_lock_test.cc" "tests/CMakeFiles/locks_test.dir/hybrid_lock_test.cc.o" "gcc" "tests/CMakeFiles/locks_test.dir/hybrid_lock_test.cc.o.d"
+  "/root/repo/tests/lock_exclusive_test.cc" "tests/CMakeFiles/locks_test.dir/lock_exclusive_test.cc.o" "gcc" "tests/CMakeFiles/locks_test.dir/lock_exclusive_test.cc.o.d"
+  "/root/repo/tests/lock_optimistic_test.cc" "tests/CMakeFiles/locks_test.dir/lock_optimistic_test.cc.o" "gcc" "tests/CMakeFiles/locks_test.dir/lock_optimistic_test.cc.o.d"
+  "/root/repo/tests/mcs_rw_lock_test.cc" "tests/CMakeFiles/locks_test.dir/mcs_rw_lock_test.cc.o" "gcc" "tests/CMakeFiles/locks_test.dir/mcs_rw_lock_test.cc.o.d"
+  "/root/repo/tests/opticlh_test.cc" "tests/CMakeFiles/locks_test.dir/opticlh_test.cc.o" "gcc" "tests/CMakeFiles/locks_test.dir/opticlh_test.cc.o.d"
+  "/root/repo/tests/optiql_test.cc" "tests/CMakeFiles/locks_test.dir/optiql_test.cc.o" "gcc" "tests/CMakeFiles/locks_test.dir/optiql_test.cc.o.d"
+  "/root/repo/tests/qnode_pool_test.cc" "tests/CMakeFiles/locks_test.dir/qnode_pool_test.cc.o" "gcc" "tests/CMakeFiles/locks_test.dir/qnode_pool_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/optiql.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

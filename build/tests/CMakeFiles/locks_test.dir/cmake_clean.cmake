@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locks_test.dir/guarded_test.cc.o"
+  "CMakeFiles/locks_test.dir/guarded_test.cc.o.d"
+  "CMakeFiles/locks_test.dir/hybrid_lock_test.cc.o"
+  "CMakeFiles/locks_test.dir/hybrid_lock_test.cc.o.d"
+  "CMakeFiles/locks_test.dir/lock_exclusive_test.cc.o"
+  "CMakeFiles/locks_test.dir/lock_exclusive_test.cc.o.d"
+  "CMakeFiles/locks_test.dir/lock_optimistic_test.cc.o"
+  "CMakeFiles/locks_test.dir/lock_optimistic_test.cc.o.d"
+  "CMakeFiles/locks_test.dir/mcs_rw_lock_test.cc.o"
+  "CMakeFiles/locks_test.dir/mcs_rw_lock_test.cc.o.d"
+  "CMakeFiles/locks_test.dir/opticlh_test.cc.o"
+  "CMakeFiles/locks_test.dir/opticlh_test.cc.o.d"
+  "CMakeFiles/locks_test.dir/optiql_test.cc.o"
+  "CMakeFiles/locks_test.dir/optiql_test.cc.o.d"
+  "CMakeFiles/locks_test.dir/qnode_pool_test.cc.o"
+  "CMakeFiles/locks_test.dir/qnode_pool_test.cc.o.d"
+  "locks_test"
+  "locks_test.pdb"
+  "locks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

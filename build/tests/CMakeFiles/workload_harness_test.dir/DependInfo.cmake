@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/harness_test.cc" "tests/CMakeFiles/workload_harness_test.dir/harness_test.cc.o" "gcc" "tests/CMakeFiles/workload_harness_test.dir/harness_test.cc.o.d"
+  "/root/repo/tests/index_bench_test.cc" "tests/CMakeFiles/workload_harness_test.dir/index_bench_test.cc.o" "gcc" "tests/CMakeFiles/workload_harness_test.dir/index_bench_test.cc.o.d"
+  "/root/repo/tests/table_printer_test.cc" "tests/CMakeFiles/workload_harness_test.dir/table_printer_test.cc.o" "gcc" "tests/CMakeFiles/workload_harness_test.dir/table_printer_test.cc.o.d"
+  "/root/repo/tests/trace_test.cc" "tests/CMakeFiles/workload_harness_test.dir/trace_test.cc.o" "gcc" "tests/CMakeFiles/workload_harness_test.dir/trace_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/workload_harness_test.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/workload_harness_test.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/optiql.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_harness_test.dir/harness_test.cc.o"
+  "CMakeFiles/workload_harness_test.dir/harness_test.cc.o.d"
+  "CMakeFiles/workload_harness_test.dir/index_bench_test.cc.o"
+  "CMakeFiles/workload_harness_test.dir/index_bench_test.cc.o.d"
+  "CMakeFiles/workload_harness_test.dir/table_printer_test.cc.o"
+  "CMakeFiles/workload_harness_test.dir/table_printer_test.cc.o.d"
+  "CMakeFiles/workload_harness_test.dir/trace_test.cc.o"
+  "CMakeFiles/workload_harness_test.dir/trace_test.cc.o.d"
+  "CMakeFiles/workload_harness_test.dir/workload_test.cc.o"
+  "CMakeFiles/workload_harness_test.dir/workload_test.cc.o.d"
+  "workload_harness_test"
+  "workload_harness_test.pdb"
+  "workload_harness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_harness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/locks_test[1]_include.cmake")
+include("/root/repo/build/tests/epoch_test[1]_include.cmake")
+include("/root/repo/build/tests/btree_test[1]_include.cmake")
+include("/root/repo/build/tests/art_test[1]_include.cmake")
+include("/root/repo/build/tests/hash_table_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_harness_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
