@@ -44,6 +44,52 @@ void RunRow(const BenchFlags& flags, const char* name, const ChurnMix& mix,
   table.AddRow(std::move(row));
 }
 
+// Fixed-population steady-state churn (50/50 insert/remove over the
+// preloaded key range): with delete-time merges the node count levels off
+// after the first window instead of growing monotonically, and the epoch
+// layer's reclaim total tracks its retire total. All three B+-tree
+// synchronization protocols are exercised.
+template <class Tree>
+void RunSteadyStateRow(const BenchFlags& flags, const char* name,
+                       TablePrinter& table) {
+  auto tree = std::make_unique<Tree>();
+  IndexWorkload workload;
+  workload.records = flags.records;
+  workload.lookup_pct = 0;
+  workload.update_pct = 0;
+  workload.insert_pct = 50;
+  workload.remove_pct = 50;
+  workload.fixed_population = true;
+  workload.threads = flags.threads.back();
+  workload.duration_ms = flags.duration_ms;
+  PreloadIndex(*tree, workload);
+  const SteadyStateReport report = RunChurnWindows(*tree, workload);
+  const auto stats = tree->GetStats();
+  table.AddRow({name, TablePrinter::Fmt(report.mops),
+                std::to_string(report.nodes_preload),
+                std::to_string(report.nodes_after_first),
+                std::to_string(report.nodes_after_second),
+                std::to_string(stats.leaf_merges + stats.inner_merges),
+                std::to_string(stats.rebalance_borrows),
+                std::to_string(report.retired_delta),
+                std::to_string(report.reclaimed_delta)});
+}
+
+void RunSteadyState(const BenchFlags& flags) {
+  std::printf(
+      "-- B+-tree steady state: fixed-population 50/50 insert/remove churn "
+      "(%d threads) --\n",
+      flags.threads.back());
+  TablePrinter table({"lock", "Mops/s", "nodes preload", "nodes W1",
+                      "nodes W2", "merges", "borrows", "retired",
+                      "reclaimed"});
+  RunSteadyStateRow<BTreeOptLock>(flags, "OptLock", table);
+  RunSteadyStateRow<BTreeOptiQl>(flags, "OptiQL", table);
+  RunSteadyStateRow<BTreeMcsRw>(flags, "MCS-RW coupling", table);
+  table.Print();
+  std::printf("\n");
+}
+
 void RunMix(const BenchFlags& flags, const ChurnMix& mix) {
   std::printf("-- B+-tree, %s --\n", mix.name);
   std::vector<std::string> header = {"lock \\ threads (Mops/s)"};
@@ -77,5 +123,6 @@ int main(int argc, char** argv) {
               "mixes",
               flags);
   for (const ChurnMix& mix : kMixes) RunMix(flags, mix);
+  RunSteadyState(flags);
   return 0;
 }

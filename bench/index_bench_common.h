@@ -13,6 +13,7 @@
 #include "index/art.h"
 #include "index/art_coupling.h"
 #include "index/btree.h"
+#include "sync/epoch.h"
 
 namespace optiql {
 
@@ -33,6 +34,47 @@ using ArtOptiQl = ArtTree<ArtOptiQlPolicy<OptiQL>>;
 using ArtOptiQlNor = ArtTree<ArtOptiQlPolicy<OptiQLNor>>;
 using ArtPthread = ArtCouplingTree<SharedMutexLock>;
 using ArtMcsRw = ArtCouplingTree<McsRwLock>;
+
+namespace internal {
+
+template <class Tree>
+concept HasNodeCount = requires(const Tree& t) {
+  { t.NodeCount() } -> std::convertible_to<size_t>;
+};
+
+}  // namespace internal
+
+// Steady-state churn measurement: runs the same fixed-population workload
+// twice against a preloaded tree and snapshots the live node count after
+// each window plus the epoch layer's retire/reclaim totals across both.
+// With delete-time merges the second window's node count stays level with
+// the first (steady state); without them it keeps climbing.
+struct SteadyStateReport {
+  double mops = 0;  // Mean over both windows.
+  size_t nodes_preload = 0;
+  size_t nodes_after_first = 0;
+  size_t nodes_after_second = 0;
+  uint64_t retired_delta = 0;
+  uint64_t reclaimed_delta = 0;
+};
+
+template <class Tree>
+  requires internal::HasNodeCount<Tree>
+SteadyStateReport RunChurnWindows(Tree& tree, const IndexWorkload& workload) {
+  SteadyStateReport report;
+  report.nodes_preload = tree.NodeCount();
+  const uint64_t retired0 = EpochManager::Instance().TotalRetired();
+  const uint64_t reclaimed0 = EpochManager::Instance().TotalReclaimed();
+  const double first = RunIndexBench(tree, workload).MopsPerSec();
+  report.nodes_after_first = tree.NodeCount();
+  const double second = RunIndexBench(tree, workload).MopsPerSec();
+  report.nodes_after_second = tree.NodeCount();
+  report.retired_delta = EpochManager::Instance().TotalRetired() - retired0;
+  report.reclaimed_delta =
+      EpochManager::Instance().TotalReclaimed() - reclaimed0;
+  report.mops = (first + second) / 2;
+  return report;
+}
 
 // Builds a tree, preloads it, then reports Mops/s for every (mix, threads)
 // combination through `emit(mix_index, threads_index, result)`.

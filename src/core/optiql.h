@@ -10,11 +10,17 @@
 //     publishes `OPREAD | version` on the word with one FETCH_OR; the next
 //     grantee closes the window with one FETCH_AND before touching data.
 //
-// Lock word layout (Figure 3a):
+// Lock word layout (Figure 3a, plus an obsolete marker for node retirement):
 //   bit 63      LOCKED       granted to / being handed to a writer
 //   bit 62      OPREAD       opportunistic-read window open
 //   bits 52..61 queue-node ID of the latest writer requester (0 = none)
-//   bits 0..51  version
+//   bit 51      OBSOLETE     protected object was retired (epoch reclaim)
+//   bits 0..50  version
+//
+// The obsolete marker lives in the version field so it survives queue
+// handover: a retiring releaser sets it in its qnode's version, and
+// NextVersion propagates it to every successor until the final release
+// publishes it on the word, permanently failing readers and upgrades.
 //
 // The word carries *both* the latest requester's node ID and the version.
 // Carrying the version (not just the OPREAD bit) is required for
@@ -51,6 +57,7 @@ class BasicOptiQL {
   static constexpr uint64_t kIdMask =
       ((1ULL << QNodePool::kIdBits) - 1) << kIdShift;
   static constexpr uint64_t kVersionMask = (1ULL << kIdShift) - 1;
+  static constexpr uint64_t kObsoleteBit = 1ULL << (kIdShift - 1);
 
   BasicOptiQL() = default;
   BasicOptiQL(const BasicOptiQL&) = delete;
@@ -64,7 +71,7 @@ class BasicOptiQL {
 
   bool AcquireSh(uint64_t& v) const {
     v = word_.load(std::memory_order_acquire);
-    return (v & kStatusMask) != kLockedBit;
+    return (v & kStatusMask) != kLockedBit && (v & kObsoleteBit) == 0;
   }
 
   bool ReleaseSh(uint64_t v) const {
@@ -160,12 +167,24 @@ class BasicOptiQL {
     next->version.store(NextVersion(my_version), std::memory_order_release);
   }
 
+  // Releases exclusive mode and retires the protected object: once the
+  // queue drains, every future optimistic read and upgrade fails. Queued
+  // writers still drain normally (index protocols re-validate the parent
+  // after acquiring a leaf directly, so they observe the unlink and abort).
+  void ReleaseExObsolete(QNode* qnode) {
+    qnode->version.store(
+        qnode->version.load(std::memory_order_relaxed) | kObsoleteBit,
+        std::memory_order_relaxed);
+    ReleaseEx(qnode);
+  }
+
   // Promotes an optimistic read snapshot `v` (taken while the lock was
   // free) directly to exclusive ownership (§6.2, used by ART). Unlike
   // OptLock's upgrade, the word is left carrying our queue node so that
   // subsequent writers line up instead of CAS-spinning.
   bool TryUpgrade(uint64_t v, QNode* qnode) {
-    if ((v & kStatusMask) != 0) return false;  // Only from a free snapshot.
+    // Only from a free, non-retired snapshot.
+    if ((v & (kStatusMask | kObsoleteBit)) != 0) return false;
     qnode->next.store(nullptr, std::memory_order_relaxed);
     qnode->aux.store(0, std::memory_order_relaxed);
     qnode->version.store(NextVersion(v), std::memory_order_relaxed);
@@ -189,6 +208,9 @@ class BasicOptiQL {
   bool IsOpReadWindowOpen() const {
     return (word_.load(std::memory_order_acquire) & kStatusMask) ==
            kStatusMask;
+  }
+  bool IsObsolete() const {
+    return (word_.load(std::memory_order_acquire) & kObsoleteBit) != 0;
   }
   uint64_t LoadWord() const { return word_.load(std::memory_order_acquire); }
   static uint64_t VersionOf(uint64_t word) { return word & kVersionMask; }

@@ -10,6 +10,8 @@
 #include <string>
 #include <thread>
 
+#include "sync/thread_registry.h"
+
 namespace optiql {
 
 namespace {
@@ -85,11 +87,13 @@ RunResult RunFixedDuration(const RunOptions& options, const WorkerFn& worker) {
   threads.reserve(static_cast<size_t>(options.threads));
   for (int i = 0; i < options.threads; ++i) {
     threads.emplace_back([&, i] {
+      WorkerStats& stats = result.per_thread[static_cast<size_t>(i)];
+      stats.registry_tid = ThreadRegistry::CurrentThreadId();
       ready.fetch_add(1, std::memory_order_acq_rel);
       while (!go.load(std::memory_order_acquire)) {
         std::this_thread::yield();
       }
-      worker(i, stop, result.per_thread[static_cast<size_t>(i)]);
+      worker(i, stop, stats);
     });
     if (options.pin_threads) {
       TryPinThread(threads.back(), static_cast<int>(i % cores));

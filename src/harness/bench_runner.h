@@ -31,6 +31,10 @@ struct WorkerStats {
   uint64_t aborts = 0;    // Failed optimistic attempts / retries.
   uint64_t reads_ok = 0;  // Successful read operations (for Table 1).
   uint64_t reads_attempted = 0;
+  // ThreadRegistry ID of the worker thread (filled in by the runner): the
+  // same ID that keys the epoch slot and the qnode cache, so diagnostics
+  // can correlate benchmark threads with runtime state.
+  uint32_t registry_tid = 0;
   Histogram latency;      // Populated only when latency_sampling > 0.
 };
 

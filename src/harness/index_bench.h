@@ -38,6 +38,13 @@ struct IndexWorkload {
 
   KeySpace key_space = KeySpace::kDense;
 
+  // Fixed-population churn mode: insert and remove arms both target the
+  // preloaded key range [0, records) instead of an ever-growing fresh
+  // range, so the live population oscillates around the preload. This is
+  // the steady-state regime for delete-time merge experiments — without
+  // merges the node count grows without bound under such a mix.
+  bool fixed_population = false;
+
   int threads = 4;
   int duration_ms = 200;
   uint32_t latency_sampling = 0;  // 0 = no latency collection.
@@ -182,10 +189,19 @@ RunResult RunIndexBench(Tree& tree, const IndexWorkload& workload) {
       } else if (op < static_cast<uint64_t>(workload.lookup_pct +
                                             workload.update_pct +
                                             workload.insert_pct)) {
-        const uint64_t fresh =
-            next_fresh.fetch_add(1, std::memory_order_relaxed);
-        internal::IndexInsert(tree, MakeKey(fresh, workload.key_space),
-                              fresh);
+        if (workload.fixed_population) {
+          // Re-insert within the preload range; duplicates fail and count
+          // as completed ops, keeping the population near `records`.
+          internal::IndexInsert(tree, key, index);
+        } else {
+          const uint64_t fresh =
+              next_fresh.fetch_add(1, std::memory_order_relaxed);
+          internal::IndexInsert(tree, MakeKey(fresh, workload.key_space),
+                                fresh);
+        }
+      } else if (workload.fixed_population) {
+        // Remove within the preload range; misses are fine.
+        internal::IndexRemove(tree, key);
       } else {
         // Remove a key inserted by the insert arm (wraps back into the
         // fresh range); misses are fine and counted as completed ops.

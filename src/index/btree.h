@@ -18,9 +18,17 @@
 //   * Small nodes (default 256 bytes, Figure 11 sweeps 256B..16KB).
 //   * Eager top-down splits: a full node is split while descending, so a
 //     writer holds at most two locks and SMOs never propagate upwards.
-//   * Deletes remove keys in place without structural merges (BTreeOLC
-//     semantics); inner nodes therefore never lose children and node memory
-//     is reclaimed only at tree destruction.
+//   * Eager top-down merges, mirroring the split discipline: a remove that
+//     passes an underfull node (quarter-full) merges it with a sibling or
+//     refills it by rotation while descending, holding at most parent +
+//     node + sibling. Unlinked nodes are marked obsolete on their lock and
+//     retired through the epoch layer, so optimistic readers still parked
+//     on them fail validation instead of touching freed memory; a root
+//     that loses its last separator is collapsed onto its single child.
+//
+// Every public operation runs inside an EpochGuard; node memory retired by
+// merges is reclaimed once all concurrent readers have moved on (same
+// scheme ART uses for node growth).
 //
 // Concurrency discipline for optimistic readers: a value read from a node
 // (child pointer, key, count) may be torn by a concurrent writer; it is
@@ -45,6 +53,7 @@
 #include "locks/pessimistic_ops.h"
 #include "locks/shared_mutex_lock.h"
 #include "qnode/qnode_pool.h"
+#include "sync/epoch.h"
 
 namespace optiql {
 
@@ -84,7 +93,12 @@ class BTree {
 
   BTree() { root_.store(new Leaf(), std::memory_order_release); }
 
-  ~BTree() { FreeSubtree(root_.load(std::memory_order_acquire)); }
+  ~BTree() {
+    FreeSubtree(root_.load(std::memory_order_acquire));
+    // Nodes retired by merges may still sit on this thread's epoch list;
+    // sweep what is provably safe so long-lived processes don't accumulate.
+    EpochManager::Instance().ReclaimIfPossible();
+  }
 
   BTree(const BTree&) = delete;
   BTree& operator=(const BTree&) = delete;
@@ -104,13 +118,16 @@ class BTree {
     Write(key, &value, WriteKind::kUpsert);
   }
 
-  // Removes the key; false if absent. No structural merges.
+  // Removes the key; false if absent. Underfull nodes are merged with or
+  // refilled from a sibling on the way down; emptied nodes are retired
+  // through the epoch layer.
   bool Remove(const Key& key) {
     return Write(key, nullptr, WriteKind::kRemove);
   }
 
   // Point lookup; copies the value into `out`.
   bool Lookup(const Key& key, Value& out) const {
+    EpochGuard guard;
     if constexpr (kProtocol == BTreeProtocol::kCoupling) {
       return LookupCoupling(key, out);
     } else {
@@ -124,6 +141,7 @@ class BTree {
               std::vector<std::pair<Key, Value>>& out) const {
     out.clear();
     if (limit == 0) return 0;
+    EpochGuard guard;
     if constexpr (kProtocol == BTreeProtocol::kCoupling) {
       return ScanCoupling(start, limit, out);
     } else {
@@ -147,6 +165,7 @@ class BTree {
     Leaf* prev = nullptr;
     for (size_t i = 0; i < pairs.size();) {
       Leaf* leaf = new Leaf();
+      live_nodes_.fetch_add(1, std::memory_order_relaxed);
       const size_t take = std::min<size_t>(per_leaf, pairs.size() - i);
       for (size_t j = 0; j < take; ++j) {
         if (i + j > 0) {
@@ -173,6 +192,7 @@ class BTree {
       std::vector<Key> upper_keys;
       for (size_t i = 0; i < level_nodes.size();) {
         Inner* inner = new Inner(level);
+        live_nodes_.fetch_add(1, std::memory_order_relaxed);
         size_t children =
             std::min<size_t>(per_inner + 1u, level_nodes.size() - i);
         // Never leave a single orphan child for the next inner node.
@@ -193,7 +213,8 @@ class BTree {
     }
     NodeBase* old_root = root_.load(std::memory_order_acquire);
     root_.store(level_nodes[0], std::memory_order_release);
-    FreeSubtree(old_root);  // The initial empty leaf.
+    live_nodes_.fetch_sub(static_cast<int64_t>(FreeSubtree(old_root)),
+                          std::memory_order_relaxed);  // The initial leaf.
   }
 
   // Number of live keys (exact when quiescent).
@@ -201,6 +222,13 @@ class BTree {
 
   int Height() const {
     return root_.load(std::memory_order_acquire)->level + 1;
+  }
+
+  // Number of live (reachable) nodes; retired-but-unreclaimed nodes are not
+  // counted. Exact when quiescent — the steady-state metric for churn
+  // workloads (a tree without merges grows this without bound).
+  size_t NodeCount() const {
+    return static_cast<size_t>(live_nodes_.load(std::memory_order_acquire));
   }
 
   // Single-threaded structural check for tests: sortedness, separator
@@ -223,13 +251,23 @@ class BTree {
     uint64_t write_restarts;
     uint64_t leaf_splits;
     uint64_t inner_splits;
+    uint64_t leaf_merges;
+    uint64_t inner_merges;
+    uint64_t rebalance_borrows;
+    uint64_t root_collapses;
+    uint64_t nodes_retired;
   };
 
   Stats GetStats() const {
     return Stats{read_restarts_.load(std::memory_order_relaxed),
                  write_restarts_.load(std::memory_order_relaxed),
                  leaf_splits_.load(std::memory_order_relaxed),
-                 inner_splits_.load(std::memory_order_relaxed)};
+                 inner_splits_.load(std::memory_order_relaxed),
+                 leaf_merges_.load(std::memory_order_relaxed),
+                 inner_merges_.load(std::memory_order_relaxed),
+                 rebalance_borrows_.load(std::memory_order_relaxed),
+                 root_collapses_.load(std::memory_order_relaxed),
+                 nodes_retired_.load(std::memory_order_relaxed)};
   }
 
   void ResetStats() {
@@ -237,6 +275,11 @@ class BTree {
     write_restarts_.store(0, std::memory_order_relaxed);
     leaf_splits_.store(0, std::memory_order_relaxed);
     inner_splits_.store(0, std::memory_order_relaxed);
+    leaf_merges_.store(0, std::memory_order_relaxed);
+    inner_merges_.store(0, std::memory_order_relaxed);
+    rebalance_borrows_.store(0, std::memory_order_relaxed);
+    root_collapses_.store(0, std::memory_order_relaxed);
+    nodes_retired_.store(0, std::memory_order_relaxed);
   }
 
  private:
@@ -351,6 +394,17 @@ class BTree {
   static_assert(Leaf::kMax >= 2 && Inner::kMax >= 3,
                 "node geometry too small to split safely");
 
+  // Underflow thresholds for delete-time rebalancing (quarter-full, the
+  // usual lazy bound): a remove descending past a node at or below its
+  // minimum merges it with a sibling or refills it by rotation. kInnerMin
+  // is at least 1 so a child merge — which costs the parent one separator —
+  // only runs under a parent keeping >= 1 key, preserving the non-root
+  // inner invariant; rebalances that can make no progress (tiny geometry)
+  // back out without touching anything.
+  static constexpr uint16_t kLeafMin = kLeafMax / 4;
+  static constexpr uint16_t kInnerMin =
+      kInnerMax / 4 > 1 ? kInnerMax / 4 : 1;
+
   static bool IsLeaf(const NodeBase* node) { return node->level == 0; }
   static Leaf* AsLeaf(NodeBase* node) { return static_cast<Leaf*>(node); }
   static Inner* AsInner(NodeBase* node) { return static_cast<Inner*>(node); }
@@ -369,16 +423,25 @@ class BTree {
 
   // --- Optimistic read-lock helpers (OLC and OptiQL protocols) ---
   //
-  // ReadLock spins until the lock admits readers and returns the snapshot;
-  // Validate re-checks it. Works for both OptLock and OptiQL since they
-  // share the AcquireSh/ReleaseSh interface.
+  // ReadLockOrRestart spins until the lock admits readers and returns the
+  // snapshot, or reports failure once the node is marked obsolete (it was
+  // merged away; spinning would never end because a retired lock admits no
+  // reader). Validate re-checks the snapshot. Works for both OptLock and
+  // OptiQL since they share the AcquireSh/ReleaseSh/IsObsolete interface.
 
   template <class Lock>
-  static uint64_t ReadLock(const Lock& lock) {
-    uint64_t v;
+  static bool ReadLockOrRestart(const Lock& lock, uint64_t& v) {
     SpinWait wait;
-    while (!lock.AcquireSh(v)) wait.Spin();
-    return v;
+    while (!lock.AcquireSh(v)) {
+      if (lock.IsObsolete()) return false;
+      wait.Spin();
+    }
+    return true;
+  }
+
+  static bool ReadLockNode(const NodeBase* node, uint64_t& v) {
+    return IsLeaf(node) ? ReadLockOrRestart(AsLeaf(node)->lock, v)
+                        : ReadLockOrRestart(AsInner(node)->lock, v);
   }
 
   template <class Lock>
@@ -394,11 +457,7 @@ class BTree {
       restarts.Tick();
       NodeBase* node = root_.load(std::memory_order_acquire);
       uint64_t v;
-      if (IsLeaf(node)) {
-        v = ReadLock(AsLeaf(node)->lock);
-      } else {
-        v = ReadLock(AsInner(node)->lock);
-      }
+      if (!ReadLockNode(node, v)) continue;
       if (node != root_.load(std::memory_order_acquire)) continue;
 
       bool restart = false;
@@ -413,10 +472,9 @@ class BTree {
         // `child` is now trustworthy; read its version, then re-validate
         // the parent so the two reads are mutually consistent.
         uint64_t cv;
-        if (IsLeaf(child)) {
-          cv = ReadLock(AsLeaf(child)->lock);
-        } else {
-          cv = ReadLock(AsInner(child)->lock);
+        if (!ReadLockNode(child, cv)) {
+          restart = true;
+          break;
         }
         if (!Validate(inner->lock, v)) {
           restart = true;
@@ -451,11 +509,7 @@ class BTree {
       // Descend to the first candidate leaf.
       NodeBase* node = root_.load(std::memory_order_acquire);
       uint64_t v;
-      if (IsLeaf(node)) {
-        v = ReadLock(AsLeaf(node)->lock);
-      } else {
-        v = ReadLock(AsInner(node)->lock);
-      }
+      if (!ReadLockNode(node, v)) continue;
       if (node != root_.load(std::memory_order_acquire)) continue;
 
       bool restart = false;
@@ -468,10 +522,9 @@ class BTree {
           break;
         }
         uint64_t cv;
-        if (IsLeaf(child)) {
-          cv = ReadLock(AsLeaf(child)->lock);
-        } else {
-          cv = ReadLock(AsInner(child)->lock);
+        if (!ReadLockNode(child, cv)) {
+          restart = true;
+          break;
         }
         if (!Validate(inner->lock, v)) {
           restart = true;
@@ -502,7 +555,10 @@ class BTree {
           out.push_back(batch[i]);
         }
         if (next == nullptr || out.size() >= limit) break;
-        v = ReadLock(next->lock);
+        if (!ReadLockOrRestart(next->lock, v)) {
+          failed = true;
+          break;
+        }
         leaf = next;
       }
       if (failed) continue;
@@ -616,6 +672,7 @@ class BTree {
   // --- Write paths ---
 
   bool Write(const Key& key, const Value* value, WriteKind kind) {
+    EpochGuard guard;
     if constexpr (kProtocol == BTreeProtocol::kCoupling) {
       return WriteCoupling(key, value, kind);
     } else {
@@ -632,15 +689,12 @@ class BTree {
       restarts.Tick();
       NodeBase* node = root_.load(std::memory_order_acquire);
       uint64_t v;
-      if (IsLeaf(node)) {
-        v = ReadLock(AsLeaf(node)->lock);
-      } else {
-        v = ReadLock(AsInner(node)->lock);
-      }
+      if (!ReadLockNode(node, v)) continue;
       if (node != root_.load(std::memory_order_acquire)) continue;
 
       Inner* parent = nullptr;
       uint64_t pv = 0;
+      bool parent_is_root = false;
       bool restart = false;
 
       while (!IsLeaf(node)) {
@@ -654,6 +708,17 @@ class BTree {
           restart = true;  // Structure changed; re-traverse.
           break;
         }
+        // Eager merge mirrors the eager split: fix an underfull inner node
+        // while descending for a remove, so SMOs never propagate upwards.
+        if (kind == WriteKind::kRemove && parent != nullptr &&
+            inner->count <= kInnerMin) {
+          if (RebalanceInner(parent, pv, parent_is_root, inner, v)) {
+            restart = true;
+            break;
+          }
+          // No profitable rebalance: every lock was released without a
+          // version bump, so the snapshots stay valid — keep descending.
+        }
         const uint16_t n = LoadCount(inner, kInnerMax);
         NodeBase* child = inner->children[inner->ChildIndex(key, n)];
         if (!Validate(inner->lock, v)) {
@@ -661,15 +726,15 @@ class BTree {
           break;
         }
         uint64_t cv;
-        if (IsLeaf(child)) {
-          cv = ReadLock(AsLeaf(child)->lock);
-        } else {
-          cv = ReadLock(AsInner(child)->lock);
+        if (!ReadLockNode(child, cv)) {
+          restart = true;
+          break;
         }
         if (!Validate(inner->lock, v)) {
           restart = true;
           break;
         }
+        parent_is_root = parent == nullptr;
         parent = inner;
         pv = v;
         node = child;
@@ -680,11 +745,11 @@ class BTree {
       bool result = false;
       LeafWriteStatus status;
       if constexpr (kProtocol == BTreeProtocol::kOptiQl) {
-        status = LeafWriteOptiQl(AsLeaf(node), parent, pv, key, value, kind,
-                                 &result);
+        status = LeafWriteOptiQl(AsLeaf(node), parent, pv, parent_is_root,
+                                 key, value, kind, &result);
       } else {
-        status = LeafWriteOlc(AsLeaf(node), v, parent, pv, key, value, kind,
-                              &result);
+        status = LeafWriteOlc(AsLeaf(node), v, parent, pv, parent_is_root,
+                              key, value, kind, &result);
       }
       if (status == LeafWriteStatus::kRestart) continue;
       return result;
@@ -727,6 +792,7 @@ class BTree {
     const uint16_t mid = inner->count / 2;
     const Key separator = inner->keys[mid];
     Inner* right = new Inner(inner->level);
+    live_nodes_.fetch_add(1, std::memory_order_relaxed);
     right->count = static_cast<uint16_t>(inner->count - mid - 1);
     for (uint16_t i = 0; i < right->count; ++i) {
       right->keys[i] = inner->keys[mid + 1 + i];
@@ -753,6 +819,7 @@ class BTree {
       return;
     }
     Inner* new_root = new Inner(static_cast<uint16_t>(left->level + 1));
+    live_nodes_.fetch_add(1, std::memory_order_relaxed);
     new_root->count = 1;
     new_root->keys[0] = separator;
     new_root->children[0] = left;
@@ -764,9 +831,14 @@ class BTree {
   // the operation restarts from the root (paper §6.1's description of the
   // original protocol).
   LeafWriteStatus LeafWriteOlc(Leaf* leaf, uint64_t v, Inner* parent,
-                               uint64_t pv, const Key& key,
-                               const Value* value, WriteKind kind,
-                               bool* result) {
+                               uint64_t pv, bool parent_is_root,
+                               const Key& key, const Value* value,
+                               WriteKind kind, bool* result) {
+    if (kind == WriteKind::kRemove && parent != nullptr &&
+        leaf->count <= kLeafMin) {
+      return RebalanceLeafOlc(parent, pv, parent_is_root, leaf, v, key,
+                              result);
+    }
     if (NeedsSplitForWrite(kind) && leaf->count == kLeafMax) {
       if (parent != nullptr) {
         if (!parent->lock.TryUpgrade(pv)) return LeafWriteStatus::kRestart;
@@ -801,8 +873,9 @@ class BTree {
   // queue-based lock, then validate the parent; no upgrade, no re-search
   // after waiting in the queue.
   LeafWriteStatus LeafWriteOptiQl(Leaf* leaf, Inner* parent, uint64_t pv,
-                                  const Key& key, const Value* value,
-                                  WriteKind kind, bool* result) {
+                                  bool parent_is_root, const Key& key,
+                                  const Value* value, WriteKind kind,
+                                  bool* result) {
     QNode* qnode = ThreadQNodes::Get(0);
     if constexpr (kAor) {
       leaf->lock.AcquireExDeferred(qnode);
@@ -820,6 +893,14 @@ class BTree {
       if (!Validate(parent->lock, pv)) return abort();
     } else if (root_.load(std::memory_order_acquire) != leaf) {
       return abort();
+    }
+
+    if (kind == WriteKind::kRemove && parent != nullptr &&
+        leaf->count <= kLeafMin) {
+      // Structural work modifies the leaf; close any inherited window now.
+      if constexpr (kAor) leaf->lock.FinishAcquireEx(qnode);
+      return RebalanceLeafOptiQl(parent, pv, parent_is_root, leaf, qnode,
+                                 key, result);
     }
 
     if (NeedsSplitForWrite(kind) && leaf->count == kLeafMax) {
@@ -863,6 +944,7 @@ class BTree {
     leaf_splits_.fetch_add(1, std::memory_order_relaxed);
     const uint16_t mid = leaf->count / 2;
     Leaf* right = new Leaf();
+    live_nodes_.fetch_add(1, std::memory_order_relaxed);
     right->count = static_cast<uint16_t>(leaf->count - mid);
     for (uint16_t i = 0; i < right->count; ++i) {
       right->keys[i] = leaf->keys[mid + i];
@@ -929,6 +1011,364 @@ class BTree {
     size_.fetch_add(1, std::memory_order_acq_rel);
   }
 
+  // --- Delete-time rebalancing (all protocols) ---
+  //
+  // Lock discipline mirrors the split paths: the parent is always held
+  // exclusively before any same-level sibling pair, so at most three locks
+  // (parent + node + sibling) are held and SMOs never propagate upwards.
+  // Merges prefer absorbing the right node into the left (the leaf chain
+  // then just skips the victim); when neither a merge fits nor a rotation
+  // puts both nodes strictly above their minimum, the pass backs out
+  // without publishing any change.
+
+  static bool IsUnderfull(const NodeBase* node) {
+    return IsLeaf(node) ? node->count <= kLeafMin
+                        : node->count <= kInnerMin;
+  }
+
+  // True iff balancing `l + r` entries across both nodes leaves each
+  // strictly above `min` — i.e. the rotation actually cures the underflow.
+  // Signed arithmetic: l + r can be 0 and unsigned wraparound would claim
+  // progress where none is possible, re-triggering forever.
+  static bool RotationHelps(uint16_t l, uint16_t r, uint16_t min) {
+    return (static_cast<int>(l) + static_cast<int>(r)) / 2 >
+           static_cast<int>(min);
+  }
+
+  // `child` is guaranteed present: every caller holds `parent` exclusively
+  // and (re)validated the parent-child edge under that lock.
+  static uint16_t FindChildIndex(const Inner* parent, const NodeBase* child) {
+    for (uint16_t i = 0; i <= parent->count; ++i) {
+      if (parent->children[i] == child) return i;
+    }
+    OPTIQL_CHECK(!"child vanished from an exclusively held parent");
+    return 0;
+  }
+
+  // Removes separator keys[child_idx - 1] and children[child_idx].
+  static void RemoveChildAt(Inner* parent, uint16_t child_idx) {
+    OPTIQL_CHECK(child_idx >= 1 && child_idx <= parent->count);
+    for (uint16_t i = child_idx; i < parent->count; ++i) {
+      parent->keys[i - 1] = parent->keys[i];
+      parent->children[i] = parent->children[i + 1];
+    }
+    --parent->count;
+  }
+
+  // Absorbs `right` into `left` (adjacent leaves under `parent`, all held
+  // exclusively) and unlinks it from parent and leaf chain. The victim's
+  // contents are deliberately left intact: optimistic readers parked on it
+  // may still scan it before their validation fails.
+  void MergeLeaves(Inner* parent, uint16_t left_idx, Leaf* left,
+                   Leaf* right) {
+    OPTIQL_CHECK(left->next == right);
+    OPTIQL_CHECK(left->count + right->count <= kLeafMax);
+    for (uint16_t i = 0; i < right->count; ++i) {
+      left->keys[left->count + i] = right->keys[i];
+      left->values[left->count + i] = right->values[i];
+    }
+    left->count = static_cast<uint16_t>(left->count + right->count);
+    left->next = right->next;
+    RemoveChildAt(parent, static_cast<uint16_t>(left_idx + 1));
+    leaf_merges_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Same for inner nodes; the separator between them comes down to bridge
+  // left's last child and right's first.
+  void MergeInners(Inner* parent, uint16_t left_idx, Inner* left,
+                   Inner* right) {
+    OPTIQL_CHECK(left->count + right->count + 1 <= kInnerMax);
+    left->keys[left->count] = parent->keys[left_idx];
+    for (uint16_t i = 0; i < right->count; ++i) {
+      left->keys[left->count + 1 + i] = right->keys[i];
+    }
+    for (uint16_t i = 0; i <= right->count; ++i) {
+      left->children[left->count + 1 + i] = right->children[i];
+    }
+    left->count = static_cast<uint16_t>(left->count + right->count + 1);
+    RemoveChildAt(parent, static_cast<uint16_t>(left_idx + 1));
+    inner_merges_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // One-entry rotations between exclusively held adjacent siblings.
+  // keys[left_idx] is the separator between them.
+
+  static void RotateLeafLeft(Inner* parent, uint16_t left_idx, Leaf* left,
+                             Leaf* right) {
+    left->keys[left->count] = right->keys[0];
+    left->values[left->count] = right->values[0];
+    ++left->count;
+    for (uint16_t i = 1; i < right->count; ++i) {
+      right->keys[i - 1] = right->keys[i];
+      right->values[i - 1] = right->values[i];
+    }
+    --right->count;
+    parent->keys[left_idx] = right->keys[0];
+  }
+
+  static void RotateLeafRight(Inner* parent, uint16_t left_idx, Leaf* left,
+                              Leaf* right) {
+    for (uint16_t i = right->count; i > 0; --i) {
+      right->keys[i] = right->keys[i - 1];
+      right->values[i] = right->values[i - 1];
+    }
+    right->keys[0] = left->keys[left->count - 1];
+    right->values[0] = left->values[left->count - 1];
+    ++right->count;
+    --left->count;
+    parent->keys[left_idx] = right->keys[0];
+  }
+
+  static void RotateInnerLeft(Inner* parent, uint16_t left_idx, Inner* left,
+                              Inner* right) {
+    // Separator descends to left's tail, adopting right's first child;
+    // right's first key ascends.
+    left->keys[left->count] = parent->keys[left_idx];
+    left->children[left->count + 1] = right->children[0];
+    ++left->count;
+    parent->keys[left_idx] = right->keys[0];
+    for (uint16_t i = 1; i < right->count; ++i) {
+      right->keys[i - 1] = right->keys[i];
+    }
+    for (uint16_t i = 1; i <= right->count; ++i) {
+      right->children[i - 1] = right->children[i];
+    }
+    --right->count;
+  }
+
+  static void RotateInnerRight(Inner* parent, uint16_t left_idx, Inner* left,
+                               Inner* right) {
+    for (uint16_t i = right->count; i > 0; --i) {
+      right->keys[i] = right->keys[i - 1];
+    }
+    for (uint16_t i = static_cast<uint16_t>(right->count + 1); i > 0; --i) {
+      right->children[i] = right->children[i - 1];
+    }
+    right->keys[0] = parent->keys[left_idx];
+    right->children[0] = left->children[left->count];
+    ++right->count;
+    parent->keys[left_idx] = left->keys[left->count - 1];
+    --left->count;
+  }
+
+  // Unlinks are published before this runs, so late readers of the victim
+  // fail validation (obsolete lock) and nobody holds a path to it; the
+  // epoch layer defers the actual free past every in-flight guard.
+  void RetireNode(NodeBase* node) {
+    live_nodes_.fetch_sub(1, std::memory_order_relaxed);
+    nodes_retired_.fetch_add(1, std::memory_order_relaxed);
+    if (IsLeaf(node)) {
+      EpochManager::Instance().Retire(AsLeaf(node));
+    } else {
+      EpochManager::Instance().Retire(AsInner(node));
+    }
+  }
+
+  // Releases the exclusively held parent after a child merge, collapsing a
+  // root left with zero separators onto its lone child. `parent_is_root`
+  // stays truthful under the held lock: any operation that moves root_ away
+  // from a node bumps that node's version first, which would have failed
+  // the caller's upgrade.
+  void ReleaseParentAfterMerge(Inner* parent, bool parent_is_root) {
+    if (parent_is_root && parent->count == 0) {
+      OPTIQL_CHECK(root_.load(std::memory_order_acquire) == parent);
+      root_.store(parent->children[0], std::memory_order_release);
+      root_collapses_.fetch_add(1, std::memory_order_relaxed);
+      parent->lock.ReleaseExObsolete();
+      RetireNode(parent);
+      return;
+    }
+    parent->lock.ReleaseEx();
+  }
+
+  // Rebalances an underfull inner node during an optimistic descent.
+  // Returns true when the structure changed (caller restarts) and false
+  // when no profitable move existed — then every lock was released without
+  // a version bump and the caller's snapshots are still valid.
+  bool RebalanceInner(Inner* parent, uint64_t pv, bool parent_is_root,
+                      Inner* inner, uint64_t v) {
+    if (!parent->lock.TryUpgrade(pv)) return true;
+    if (!inner->lock.TryUpgrade(v)) {
+      parent->lock.ReleaseExNoBump();
+      return true;
+    }
+    const uint16_t idx = FindChildIndex(parent, inner);
+    Inner* left;
+    Inner* right;
+    uint16_t left_idx;
+    if (idx < parent->count) {
+      left = inner;
+      right = AsInner(parent->children[idx + 1]);
+      left_idx = idx;
+    } else {
+      left = AsInner(parent->children[idx - 1]);
+      right = inner;
+      left_idx = static_cast<uint16_t>(idx - 1);
+    }
+    Inner* sibling = left == inner ? right : left;
+    // Blocking acquire is deadlock-free: every writer that locks an inner
+    // node holds its parent exclusively first, and we hold the parent.
+    sibling->lock.AcquireEx();
+
+    const uint16_t l = left->count;
+    const uint16_t r = right->count;
+    if (l + r + 1 <= kInnerMax && (parent->count >= 2 || parent_is_root)) {
+      MergeInners(parent, left_idx, left, right);
+      right->lock.ReleaseExObsolete();
+      left->lock.ReleaseEx();
+      RetireNode(right);
+      ReleaseParentAfterMerge(parent, parent_is_root);
+      return true;
+    }
+    if (RotationHelps(l, r, kInnerMin)) {
+      while (left->count + 1 < right->count) {
+        RotateInnerLeft(parent, left_idx, left, right);
+      }
+      while (right->count + 1 < left->count) {
+        RotateInnerRight(parent, left_idx, left, right);
+      }
+      rebalance_borrows_.fetch_add(1, std::memory_order_relaxed);
+      sibling->lock.ReleaseEx();
+      inner->lock.ReleaseEx();
+      parent->lock.ReleaseEx();
+      return true;
+    }
+    sibling->lock.ReleaseExNoBump();
+    inner->lock.ReleaseExNoBump();
+    parent->lock.ReleaseExNoBump();
+    return false;
+  }
+
+  // Leaf-level rebalance for the OLC protocol: upgrade parent then leaf
+  // from their snapshots, lock a sibling, and merge or rotate. When neither
+  // helps, the pending remove is applied in place under the held leaf.
+  LeafWriteStatus RebalanceLeafOlc(Inner* parent, uint64_t pv,
+                                   bool parent_is_root, Leaf* leaf,
+                                   uint64_t v, const Key& key,
+                                   bool* result) {
+    if (!parent->lock.TryUpgrade(pv)) return LeafWriteStatus::kRestart;
+    if (!leaf->lock.TryUpgrade(v)) {
+      parent->lock.ReleaseExNoBump();
+      return LeafWriteStatus::kRestart;
+    }
+    const uint16_t idx = FindChildIndex(parent, leaf);
+    Leaf* left;
+    Leaf* right;
+    uint16_t left_idx;
+    if (idx < parent->count) {
+      left = leaf;
+      right = AsLeaf(parent->children[idx + 1]);
+      left_idx = idx;
+    } else {
+      left = AsLeaf(parent->children[idx - 1]);
+      right = leaf;
+      left_idx = static_cast<uint16_t>(idx - 1);
+    }
+    Leaf* sibling = left == leaf ? right : left;
+    sibling->lock.AcquireEx();
+
+    const uint16_t l = left->count;
+    const uint16_t r = right->count;
+    if (l + r <= kLeafMax && (parent->count >= 2 || parent_is_root)) {
+      MergeLeaves(parent, left_idx, left, right);
+      right->lock.ReleaseExObsolete();
+      left->lock.ReleaseEx();
+      RetireNode(right);
+      ReleaseParentAfterMerge(parent, parent_is_root);
+      return LeafWriteStatus::kRestart;
+    }
+    if (RotationHelps(l, r, kLeafMin)) {
+      while (left->count + 1 < right->count) {
+        RotateLeafLeft(parent, left_idx, left, right);
+      }
+      while (right->count + 1 < left->count) {
+        RotateLeafRight(parent, left_idx, left, right);
+      }
+      rebalance_borrows_.fetch_add(1, std::memory_order_relaxed);
+      sibling->lock.ReleaseEx();
+      leaf->lock.ReleaseEx();
+      parent->lock.ReleaseEx();
+      return LeafWriteStatus::kRestart;
+    }
+    // No profitable structural move (tiny geometry, or the siblings are as
+    // drained as we are): complete the remove in place.
+    sibling->lock.ReleaseExNoBump();
+    parent->lock.ReleaseExNoBump();
+    *result = ApplyToLeaf(leaf, key, nullptr, WriteKind::kRemove);
+    leaf->lock.ReleaseEx();
+    return LeafWriteStatus::kDone;
+  }
+
+  // Leaf-level rebalance for the OptiQL protocol. The caller already owns
+  // the leaf exclusively (queue grant, window closed) and validated the
+  // parent edge; we upgrade the parent from its snapshot and lock the
+  // sibling through its queue. Queued writers on a merged-away leaf drain
+  // normally and fail their parent validation afterwards.
+  LeafWriteStatus RebalanceLeafOptiQl(Inner* parent, uint64_t pv,
+                                      bool parent_is_root, Leaf* leaf,
+                                      QNode* qnode, const Key& key,
+                                      bool* result) {
+    if (!parent->lock.TryUpgrade(pv)) {
+      leaf->lock.ReleaseEx(qnode);
+      return LeafWriteStatus::kRestart;
+    }
+    const uint16_t idx = FindChildIndex(parent, leaf);
+    Leaf* left;
+    Leaf* right;
+    uint16_t left_idx;
+    if (idx < parent->count) {
+      left = leaf;
+      right = AsLeaf(parent->children[idx + 1]);
+      left_idx = idx;
+    } else {
+      left = AsLeaf(parent->children[idx - 1]);
+      right = leaf;
+      left_idx = static_cast<uint16_t>(idx - 1);
+    }
+    Leaf* sibling = left == leaf ? right : left;
+    QNode* sibling_qnode = ThreadQNodes::Get(1);
+    // Deadlock-free: sibling holders either hold only that leaf (plain leaf
+    // writers — they never block on the parent, they validate it) or
+    // acquired the parent first (structural passes — excluded, we hold it).
+    sibling->lock.AcquireEx(sibling_qnode);
+
+    const uint16_t l = left->count;
+    const uint16_t r = right->count;
+    if (l + r <= kLeafMax && (parent->count >= 2 || parent_is_root)) {
+      MergeLeaves(parent, left_idx, left, right);
+      if (right == leaf) {
+        leaf->lock.ReleaseExObsolete(qnode);
+        sibling->lock.ReleaseEx(sibling_qnode);
+      } else {
+        sibling->lock.ReleaseExObsolete(sibling_qnode);
+        leaf->lock.ReleaseEx(qnode);
+      }
+      RetireNode(right);
+      ReleaseParentAfterMerge(parent, parent_is_root);
+      return LeafWriteStatus::kRestart;
+    }
+    if (RotationHelps(l, r, kLeafMin)) {
+      while (left->count + 1 < right->count) {
+        RotateLeafLeft(parent, left_idx, left, right);
+      }
+      while (right->count + 1 < left->count) {
+        RotateLeafRight(parent, left_idx, left, right);
+      }
+      rebalance_borrows_.fetch_add(1, std::memory_order_relaxed);
+      sibling->lock.ReleaseEx(sibling_qnode);
+      leaf->lock.ReleaseEx(qnode);
+      parent->lock.ReleaseEx();
+      return LeafWriteStatus::kRestart;
+    }
+    // No profitable move. OptiQL has no bump-free release — a spurious
+    // version bump on the sibling only costs overlapping readers a restart.
+    sibling->lock.ReleaseEx(sibling_qnode);
+    parent->lock.ReleaseExNoBump();
+    *result = ApplyToLeaf(leaf, key, nullptr, WriteKind::kRemove);
+    leaf->lock.ReleaseEx(qnode);
+    return LeafWriteStatus::kDone;
+  }
+
   // --- Pessimistic write path: exclusive top-down coupling with eager
   // splits (at most two exclusive locks held). ---
 
@@ -951,6 +1391,8 @@ class BTree {
         continue;
       }
 
+      bool at_root = true;
+      bool restart = false;
       while (!IsLeaf(node)) {
         Inner* inner = AsInner(node);
         uint16_t idx = inner->ChildIndex(key, inner->count);
@@ -968,17 +1410,113 @@ class BTree {
             child = target;
           }
           (void)right;
+        } else if (kind == WriteKind::kRemove && IsUnderfull(child) &&
+                   RebalanceChildCoupling(inner, at_root, slot, child,
+                                          child_slot)) {
+          // Structure changed and every lock was released; separators may
+          // have moved, so re-route from the root.
+          restart = true;
+          break;
         }
         UnlockOf(node, /*shared=*/false, slot);
         node = child;
         slot = child_slot;
+        at_root = false;
       }
+      if (restart) continue;
 
       Leaf* leaf = AsLeaf(node);
       const bool result = ApplyToLeaf(leaf, key, value, kind);
       UnlockOf(node, /*shared=*/false, slot);
       return result;
     }
+  }
+
+  // Rebalances an underfull child during a pessimistic descent. On entry
+  // `parent` and `child` are held exclusively. Returns true when the
+  // structure changed — then ALL locks are released and the caller must
+  // re-traverse; false leaves parent + child held and unchanged.
+  bool RebalanceChildCoupling(Inner* parent, bool at_root, int parent_slot,
+                              NodeBase* child, int child_slot) {
+    const uint16_t idx = FindChildIndex(parent, child);
+    const bool child_is_left = idx < parent->count;
+    const uint16_t left_idx =
+        child_is_left ? idx : static_cast<uint16_t>(idx - 1);
+    const int sibling_slot = 2;
+    NodeBase* left;
+    NodeBase* right;
+    if (child_is_left) {
+      left = child;
+      right = parent->children[idx + 1];
+      LockOf(right, /*shared=*/false, sibling_slot);
+    } else {
+      left = parent->children[idx - 1];
+      right = child;
+      // Same-level locks must be taken left-to-right: scans couple
+      // rightwards along the leaf chain, so holding `child` while blocking
+      // on its left sibling can deadlock against a scan holding that
+      // sibling shared. Drop the child, lock left, relock. Safe: every
+      // writer path to `child` goes through `parent`, which we hold, so
+      // its state cannot change while unlocked.
+      UnlockOf(child, /*shared=*/false, child_slot);
+      LockOf(left, /*shared=*/false, sibling_slot);
+      LockOf(child, /*shared=*/false, child_slot);
+    }
+
+    const bool fits = IsLeaf(left)
+                          ? left->count + right->count <= kLeafMax
+                          : left->count + right->count + 1 <= kInnerMax;
+    const int right_slot = right == child ? child_slot : sibling_slot;
+    const int left_slot = left == child ? child_slot : sibling_slot;
+    if (fits && (parent->count >= 2 || at_root)) {
+      if (IsLeaf(left)) {
+        MergeLeaves(parent, left_idx, AsLeaf(left), AsLeaf(right));
+      } else {
+        MergeInners(parent, left_idx, AsInner(left), AsInner(right));
+      }
+      // Nobody can be queued on the victim: reaching it requires the
+      // parent or the left sibling, and we hold both exclusively.
+      UnlockOf(right, /*shared=*/false, right_slot);
+      RetireNode(right);
+      UnlockOf(left, /*shared=*/false, left_slot);
+      if (at_root && parent->count == 0) {
+        OPTIQL_CHECK(root_.load(std::memory_order_acquire) == parent);
+        root_.store(left, std::memory_order_release);
+        root_collapses_.fetch_add(1, std::memory_order_relaxed);
+        UnlockOf(parent, /*shared=*/false, parent_slot);
+        RetireNode(parent);
+      } else {
+        UnlockOf(parent, /*shared=*/false, parent_slot);
+      }
+      return true;
+    }
+    if (RotationHelps(left->count, right->count,
+                      IsLeaf(left) ? kLeafMin : kInnerMin)) {
+      if (IsLeaf(left)) {
+        Leaf* l = AsLeaf(left);
+        Leaf* r = AsLeaf(right);
+        while (l->count + 1 < r->count) RotateLeafLeft(parent, left_idx, l, r);
+        while (r->count + 1 < l->count) RotateLeafRight(parent, left_idx, l, r);
+      } else {
+        Inner* l = AsInner(left);
+        Inner* r = AsInner(right);
+        while (l->count + 1 < r->count) {
+          RotateInnerLeft(parent, left_idx, l, r);
+        }
+        while (r->count + 1 < l->count) {
+          RotateInnerRight(parent, left_idx, l, r);
+        }
+      }
+      rebalance_borrows_.fetch_add(1, std::memory_order_relaxed);
+      UnlockOf(right, /*shared=*/false, right_slot);
+      UnlockOf(left, /*shared=*/false, left_slot);
+      UnlockOf(parent, /*shared=*/false, parent_slot);
+      return true;
+    }
+    // No profitable move: release only the sibling and let the descent
+    // continue through the still-held parent + child.
+    UnlockOf(left == child ? right : left, /*shared=*/false, sibling_slot);
+    return false;
   }
 
   bool IsFull(const NodeBase* node) const {
@@ -1010,6 +1548,7 @@ class BTree {
       Leaf* leaf = AsLeaf(node);
       const uint16_t mid = leaf->count / 2;
       Leaf* right = new Leaf();
+      live_nodes_.fetch_add(1, std::memory_order_relaxed);
       right->count = static_cast<uint16_t>(leaf->count - mid);
       for (uint16_t i = 0; i < right->count; ++i) {
         right->keys[i] = leaf->keys[mid + i];
@@ -1025,6 +1564,7 @@ class BTree {
       Inner* inner = AsInner(node);
       const uint16_t mid = inner->count / 2;
       Inner* right = new Inner(inner->level);
+      live_nodes_.fetch_add(1, std::memory_order_relaxed);
       right->count = static_cast<uint16_t>(inner->count - mid - 1);
       for (uint16_t i = 0; i < right->count; ++i) {
         right->keys[i] = inner->keys[mid + 1 + i];
@@ -1040,17 +1580,20 @@ class BTree {
 
   // --- Maintenance ---
 
-  void FreeSubtree(NodeBase* node) {
-    if (node == nullptr) return;
+  // Frees the subtree and returns the number of nodes freed.
+  size_t FreeSubtree(NodeBase* node) {
+    if (node == nullptr) return 0;
     if (IsLeaf(node)) {
       delete AsLeaf(node);
-      return;
+      return 1;
     }
     Inner* inner = AsInner(node);
+    size_t freed = 1;
     for (uint16_t i = 0; i <= inner->count; ++i) {
-      FreeSubtree(inner->children[i]);
+      freed += FreeSubtree(inner->children[i]);
     }
     delete inner;
+    return freed;
   }
 
   void CheckSubtree(const NodeBase* node, const Key* lower, const Key* upper,
@@ -1087,6 +1630,13 @@ class BTree {
   std::atomic<uint64_t> write_restarts_{0};
   std::atomic<uint64_t> leaf_splits_{0};
   std::atomic<uint64_t> inner_splits_{0};
+  std::atomic<uint64_t> leaf_merges_{0};
+  std::atomic<uint64_t> inner_merges_{0};
+  std::atomic<uint64_t> rebalance_borrows_{0};
+  std::atomic<uint64_t> root_collapses_{0};
+  std::atomic<uint64_t> nodes_retired_{0};
+  // Live (reachable) nodes; starts at 1 for the empty root leaf.
+  std::atomic<int64_t> live_nodes_{1};
 };
 
 template <class Key, class Value, class SyncPolicy, size_t kNodeBytes>

@@ -76,6 +76,15 @@ class BasicOptLock {
     word_.store((v + 1) & ~kLockedBit, std::memory_order_release);
   }
 
+  // Releases exclusive mode without bumping the version. Only legal when
+  // the critical section modified nothing: overlapping optimistic readers
+  // (and the releasing writer's own pre-upgrade snapshot) stay valid, which
+  // lets a no-op structural pass back out without forcing restarts.
+  void ReleaseExNoBump() {
+    const uint64_t v = word_.load(std::memory_order_relaxed);
+    word_.store(v & ~kLockedBit, std::memory_order_release);
+  }
+
   // Releases exclusive mode and retires the protected object: every future
   // AcquireSh/TryUpgrade on this lock fails.
   void ReleaseExObsolete() {

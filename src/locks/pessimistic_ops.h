@@ -1,7 +1,7 @@
 // Uniform pessimistic-lock facade used by the lock-coupling index variants
 // (B+-tree and ART baselines). `slot` selects a thread-local queue node for
-// queue-based locks; coupling holds at most two locks (parent+child at
-// adjacent depths), so alternating two slots by depth suffices.
+// queue-based locks; coupling alternates slots 0/1 by depth (parent+child)
+// and uses slot 2 for the sibling during delete-time rebalancing.
 #ifndef OPTIQL_LOCKS_PESSIMISTIC_OPS_H_
 #define OPTIQL_LOCKS_PESSIMISTIC_OPS_H_
 

@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <new>
 
+#include "sync/thread_registry.h"
+
 namespace optiql {
 
 QNodePool::QNodePool(uint32_t capacity) : capacity_(capacity) {
@@ -54,40 +56,49 @@ uint32_t QNodePool::in_use() const {
 
 namespace {
 
-// Per-thread cache; returns nodes to the global pool on thread exit.
-struct ThreadQNodeCache {
-  QNode* nodes[ThreadQNodes::kNodesPerThread] = {};
+// Per-thread queue-node cache, keyed by ThreadRegistry ID rather than a
+// private thread_local: one registration path for the whole runtime. The
+// registry exit hook flushes the cache back to the global pool before the
+// ID becomes reusable, so a successor thread starts with an empty slot and
+// pool accounting stays exact across thread churn.
+struct OPTIQL_CACHELINE_ALIGNED ThreadQNodeCache {
+  QNode* direct[ThreadQNodes::kNodesPerThread] = {};
+  QNode* stack[ThreadQNodeStack::kMaxCached] = {};
+  int stack_size = 0;
+  bool exit_hook_armed = false;
+};
 
-  ~ThreadQNodeCache() {
-    for (QNode* node : nodes) {
-      if (node != nullptr) QNodePool::Instance().Release(node);
+ThreadQNodeCache g_qnode_caches[ThreadRegistry::kMaxThreads];
+
+void FlushQNodeCache(void* arg) {
+  ThreadQNodeCache& cache = *static_cast<ThreadQNodeCache*>(arg);
+  QNodePool& pool = QNodePool::Instance();
+  for (QNode*& node : cache.direct) {
+    if (node != nullptr) {
+      pool.Release(node);
+      node = nullptr;
     }
   }
-};
+  for (int i = 0; i < cache.stack_size; ++i) pool.Release(cache.stack[i]);
+  cache.stack_size = 0;
+  cache.exit_hook_armed = false;
+}
 
-thread_local ThreadQNodeCache t_qnode_cache;
-
-}  // namespace
-
-namespace {
-
-struct ThreadQNodeStackCache {
-  QNode* nodes[ThreadQNodeStack::kMaxCached] = {};
-  int size = 0;
-
-  ~ThreadQNodeStackCache() {
-    for (int i = 0; i < size; ++i) QNodePool::Instance().Release(nodes[i]);
+ThreadQNodeCache& LocalQNodeCache() {
+  ThreadQNodeCache& cache = g_qnode_caches[ThreadRegistry::CurrentThreadId()];
+  if (OPTIQL_UNLIKELY(!cache.exit_hook_armed)) {
+    cache.exit_hook_armed = true;
+    ThreadRegistry::AtThreadExit(&FlushQNodeCache, &cache);
   }
-};
-
-thread_local ThreadQNodeStackCache t_qnode_stack;
+  return cache;
+}
 
 }  // namespace
 
 QNode* ThreadQNodeStack::Pop() {
-  ThreadQNodeStackCache& cache = t_qnode_stack;
-  if (cache.size > 0) {
-    QNode* node = cache.nodes[--cache.size];
+  ThreadQNodeCache& cache = LocalQNodeCache();
+  if (cache.stack_size > 0) {
+    QNode* node = cache.stack[--cache.stack_size];
     node->Reset();
     return node;
   }
@@ -97,9 +108,9 @@ QNode* ThreadQNodeStack::Pop() {
 }
 
 void ThreadQNodeStack::Push(QNode* node) {
-  ThreadQNodeStackCache& cache = t_qnode_stack;
-  if (cache.size < kMaxCached) {
-    cache.nodes[cache.size++] = node;
+  ThreadQNodeCache& cache = LocalQNodeCache();
+  if (cache.stack_size < kMaxCached) {
+    cache.stack[cache.stack_size++] = node;
   } else {
     QNodePool::Instance().Release(node);
   }
@@ -107,7 +118,7 @@ void ThreadQNodeStack::Push(QNode* node) {
 
 QNode* ThreadQNodes::Get(int i) {
   OPTIQL_CHECK(i >= 0 && i < kNodesPerThread);
-  QNode*& slot = t_qnode_cache.nodes[i];
+  QNode*& slot = LocalQNodeCache().direct[i];
   if (OPTIQL_UNLIKELY(slot == nullptr)) {
     slot = QNodePool::Instance().Acquire();
     OPTIQL_CHECK(slot != nullptr);

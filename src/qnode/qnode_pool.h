@@ -99,10 +99,11 @@ class QNodePool {
   std::vector<uint32_t> free_ids_;  // Guarded by mu_.
 };
 
-// Thread-local cache of queue nodes. Index operations hold at most two
-// queue-based locks at a time (paper §6.1); we cache four per thread for
+// Per-thread cache of queue nodes, keyed by ThreadRegistry ID. Index
+// operations hold at most three queue-based locks at a time (parent + node +
+// sibling during delete-time rebalancing); we cache four per thread for
 // headroom. Nodes are lazily acquired from the global pool on first use and
-// recycled when the thread exits.
+// flushed back by a registry exit hook when the thread deregisters.
 class ThreadQNodes {
  public:
   static constexpr int kNodesPerThread = 4;

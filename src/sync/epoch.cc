@@ -20,7 +20,6 @@ struct EpochManager::ThreadState {
     if (!retired.empty()) owner->AdoptOrphans(std::move(retired));
     if (slot != nullptr) {
       slot->epoch.store(kQuiescent, std::memory_order_release);
-      slot->used.store(false, std::memory_order_release);
     }
   }
 };
@@ -44,23 +43,24 @@ EpochManager& EpochManager::Instance() {
 }
 
 EpochManager::ThreadState& EpochManager::LocalState() {
-  thread_local ThreadState state;
-  if (OPTIQL_UNLIKELY(state.owner == nullptr)) {
-    state.owner = this;
-    for (uint32_t i = 0; i < kMaxThreads; ++i) {
-      bool expected = false;
-      if (slots_[i].used.compare_exchange_strong(expected, true,
-                                                 std::memory_order_acq_rel)) {
-        state.slot = &slots_[i];
-        break;
-      }
-    }
-    OPTIQL_CHECK(state.slot != nullptr);  // More threads than kMaxThreads.
+  // The state lives on the heap behind a trivially destructible thread_local
+  // pointer and is torn down by a registry exit hook. The hook runs before
+  // the registry releases the thread's ID, so the slot (indexed by that ID)
+  // is quiescent again before any successor thread can claim it.
+  thread_local ThreadState* state = nullptr;
+  if (OPTIQL_UNLIKELY(state == nullptr)) {
+    const uint32_t tid = ThreadRegistry::CurrentThreadId();
+    OPTIQL_CHECK(tid < kMaxThreads);
+    state = new ThreadState();
+    state->owner = this;
+    state->slot = &slots_[tid];
+    ThreadRegistry::AtThreadExit(
+        [](void* p) { delete static_cast<ThreadState*>(p); }, state);
   }
   // A single process-wide EpochManager::Instance() is assumed per thread;
   // tests that build private managers use dedicated threads.
-  OPTIQL_CHECK(state.owner == this);
-  return state;
+  OPTIQL_CHECK(state->owner == this);
+  return *state;
 }
 
 void EpochManager::Enter() {
@@ -91,6 +91,7 @@ void EpochManager::Retire(void* object, void (*deleter)(void*)) {
   std::atomic_thread_fence(std::memory_order_seq_cst);
   const uint64_t epoch = global_epoch_.load(std::memory_order_acquire);
   state.retired.push_back(RetiredObject{object, deleter, epoch});
+  retired_total_.fetch_add(1, std::memory_order_relaxed);
   if (retire_clock_.fetch_add(1, std::memory_order_relaxed) %
           kRetiresPerEpochAdvance ==
       kRetiresPerEpochAdvance - 1) {
@@ -100,8 +101,11 @@ void EpochManager::Retire(void* object, void (*deleter)(void*)) {
 
 uint64_t EpochManager::MinActiveEpoch() const {
   uint64_t min_epoch = kQuiescent;
-  for (uint32_t i = 0; i < kMaxThreads; ++i) {
-    if (!slots_[i].used.load(std::memory_order_acquire)) continue;
+  // Quiescent slots (including never-used ones) read as kQuiescent and do
+  // not lower the minimum, so scanning to the registry's high watermark
+  // covers every thread that could be active.
+  const uint32_t limit = ThreadRegistry::Instance().high_watermark();
+  for (uint32_t i = 0; i < limit; ++i) {
     const uint64_t e = slots_[i].epoch.load(std::memory_order_seq_cst);
     if (e < min_epoch) min_epoch = e;
   }
@@ -119,19 +123,21 @@ size_t EpochManager::ReclaimFrom(ThreadState& state) {
   // absorbs in-flight announcements); they are safe once every active
   // thread is at least two epochs past the retirement.
   const uint64_t min_active = MinActiveEpoch();
-  size_t reclaimed = ReclaimOrphans(min_active);
+  const size_t from_orphans = ReclaimOrphans(min_active);
+  size_t from_list = 0;
   auto& list = state.retired;
   for (size_t i = 0; i < list.size();) {
     if (list[i].epoch + 1 < min_active) {  // kQuiescent => no active readers.
       list[i].deleter(list[i].object);
       list[i] = list.back();
       list.pop_back();
-      ++reclaimed;
+      ++from_list;
     } else {
       ++i;
     }
   }
-  return reclaimed;
+  reclaimed_total_.fetch_add(from_list, std::memory_order_relaxed);
+  return from_orphans + from_list;
 }
 
 size_t EpochManager::ReclaimAllUnsafe() {
@@ -146,6 +152,7 @@ size_t EpochManager::ReclaimAllUnsafe() {
   }
   reclaimed += orphans.size();
   for (const RetiredObject& r : orphans) r.deleter(r.object);
+  reclaimed_total_.fetch_add(reclaimed, std::memory_order_relaxed);
   return reclaimed;
 }
 
@@ -165,6 +172,7 @@ size_t EpochManager::ReclaimOrphans(uint64_t min_active) {
     }
   }
   for (const RetiredObject& r : safe) r.deleter(r.object);
+  reclaimed_total_.fetch_add(safe.size(), std::memory_order_relaxed);
   return safe.size();
 }
 

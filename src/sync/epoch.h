@@ -12,6 +12,10 @@
 // per-thread retire lists. The global epoch is advanced every
 // kRetiresPerEpochAdvance retirements; a retired object is reclaimed when
 // min(active thread epochs) exceeds its retirement epoch.
+//
+// Slots are indexed by ThreadRegistry IDs: the registry is the one place
+// threads register, and its exit hooks tear this manager's per-thread state
+// down before the ID can be recycled.
 #ifndef OPTIQL_SYNC_EPOCH_H_
 #define OPTIQL_SYNC_EPOCH_H_
 
@@ -22,12 +26,13 @@
 
 #include "common/check.h"
 #include "common/platform.h"
+#include "sync/thread_registry.h"
 
 namespace optiql {
 
 class EpochManager {
  public:
-  static constexpr uint32_t kMaxThreads = 512;
+  static constexpr uint32_t kMaxThreads = ThreadRegistry::kMaxThreads;
   static constexpr uint64_t kQuiescent = ~0ULL;
   static constexpr uint32_t kRetiresPerEpochAdvance = 64;
 
@@ -70,10 +75,18 @@ class EpochManager {
   }
   size_t RetiredCount() const;  // This thread's pending retirements.
 
+  // Lifetime totals across all threads (monotonic; for steady-state
+  // reporting: a workload is leak-free when the two advance in lockstep).
+  uint64_t TotalRetired() const {
+    return retired_total_.load(std::memory_order_acquire);
+  }
+  uint64_t TotalReclaimed() const {
+    return reclaimed_total_.load(std::memory_order_acquire);
+  }
+
  private:
   struct OPTIQL_CACHELINE_ALIGNED Slot {
     std::atomic<uint64_t> epoch{kQuiescent};
-    std::atomic<bool> used{false};
   };
 
   struct RetiredObject {
@@ -91,9 +104,11 @@ class EpochManager {
   void AdoptOrphans(std::vector<RetiredObject>&& leftovers);
   uint64_t MinActiveEpoch() const;
 
-  Slot* slots_;  // Array of kMaxThreads slots.
+  Slot* slots_;  // Array of kMaxThreads slots, indexed by ThreadRegistry ID.
   std::atomic<uint64_t> global_epoch_{1};
   std::atomic<uint64_t> retire_clock_{0};
+  std::atomic<uint64_t> retired_total_{0};
+  std::atomic<uint64_t> reclaimed_total_{0};
 
   // Retired objects whose owning thread exited before they became safe;
   // swept by any thread's next reclaim pass. Guarded by orphan_mu_.

@@ -1,0 +1,85 @@
+#include "sync/thread_registry.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/check.h"
+
+namespace optiql {
+
+// The per-thread registration record. Function-local thread_local so its
+// destructor ordering is well-defined (reverse order of construction
+// completion): it is constructed before any subsystem's per-ID state is
+// touched, and destroyed after, at which point the exit hooks tear that
+// state down and the ID is released.
+struct ThreadRegistration {
+  struct Hook {
+    void (*fn)(void*);
+    void* arg;
+  };
+
+  uint32_t id = ThreadRegistry::kInvalidId;
+  std::vector<Hook> hooks;
+
+  ~ThreadRegistration() {
+    for (auto it = hooks.rbegin(); it != hooks.rend(); ++it) {
+      it->fn(it->arg);
+    }
+    if (id != ThreadRegistry::kInvalidId) {
+      ThreadRegistry::Instance().ReleaseId(id);
+    }
+  }
+};
+
+namespace {
+
+ThreadRegistration& LocalRegistration() {
+  thread_local ThreadRegistration registration;
+  return registration;
+}
+
+}  // namespace
+
+ThreadRegistry& ThreadRegistry::Instance() {
+  static ThreadRegistry* registry = new ThreadRegistry();  // Never freed.
+  return *registry;
+}
+
+uint32_t ThreadRegistry::CurrentThreadId() {
+  ThreadRegistration& registration = LocalRegistration();
+  if (OPTIQL_UNLIKELY(registration.id == kInvalidId)) {
+    registration.id = Instance().AcquireId();
+  }
+  return registration.id;
+}
+
+void ThreadRegistry::AtThreadExit(void (*fn)(void*), void* arg) {
+  CurrentThreadId();  // Ensure the registration (and its dtor) exists.
+  LocalRegistration().hooks.push_back(ThreadRegistration::Hook{fn, arg});
+}
+
+uint32_t ThreadRegistry::AcquireId() {
+  std::lock_guard<std::mutex> guard(mu_);
+  uint32_t id;
+  if (!free_ids_.empty()) {
+    std::pop_heap(free_ids_.begin(), free_ids_.end(),
+                  std::greater<uint32_t>());
+    id = free_ids_.back();
+    free_ids_.pop_back();
+  } else {
+    OPTIQL_CHECK(next_unused_ < kMaxThreads);  // Thread limit exceeded.
+    id = next_unused_++;
+    high_watermark_.store(next_unused_, std::memory_order_release);
+  }
+  live_.fetch_add(1, std::memory_order_acq_rel);
+  return id;
+}
+
+void ThreadRegistry::ReleaseId(uint32_t id) {
+  std::lock_guard<std::mutex> guard(mu_);
+  free_ids_.push_back(id);
+  std::push_heap(free_ids_.begin(), free_ids_.end(), std::greater<uint32_t>());
+  live_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+}  // namespace optiql

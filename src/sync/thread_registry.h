@@ -1,0 +1,70 @@
+// Process-wide thread registry: the single source of dense thread IDs for
+// every per-thread subsystem (epoch slots, queue-node caches, harness stats).
+//
+// Each thread is lazily assigned the lowest free ID on first use and releases
+// it automatically at thread exit (RAII). Subsystems that keep per-ID state
+// register teardown hooks with AtThreadExit(); hooks run in reverse
+// registration order *before* the ID is returned for reuse, so a recycled ID
+// never observes a predecessor's stale slot contents.
+#ifndef OPTIQL_SYNC_THREAD_REGISTRY_H_
+#define OPTIQL_SYNC_THREAD_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace optiql {
+
+class ThreadRegistry {
+ public:
+  // Upper bound on concurrently registered threads. Sized to the paper's
+  // deployment model (threads <= hardware contexts, with headroom).
+  static constexpr uint32_t kMaxThreads = 512;
+  static constexpr uint32_t kInvalidId = ~0u;
+
+  // Process-wide instance. Never destroyed.
+  static ThreadRegistry& Instance();
+
+  // Dense ID of the calling thread, assigned on first use (lowest free ID).
+  // Stable for the thread's lifetime; recycled after the thread exits, so
+  // concurrently live threads never share an ID. Aborts when more than
+  // kMaxThreads threads are live at once.
+  static uint32_t CurrentThreadId();
+
+  // Registers `fn(arg)` to run when the calling thread deregisters, before
+  // its ID becomes reusable. Hooks run in reverse registration order.
+  static void AtThreadExit(void (*fn)(void*), void* arg);
+
+  // Number of currently registered threads.
+  uint32_t live_threads() const {
+    return live_.load(std::memory_order_acquire);
+  }
+
+  // Exclusive upper bound on IDs ever assigned; per-ID state lives in
+  // [0, high_watermark()).
+  uint32_t high_watermark() const {
+    return high_watermark_.load(std::memory_order_acquire);
+  }
+
+  ThreadRegistry(const ThreadRegistry&) = delete;
+  ThreadRegistry& operator=(const ThreadRegistry&) = delete;
+
+ private:
+  friend struct ThreadRegistration;
+
+  ThreadRegistry() = default;
+
+  uint32_t AcquireId();
+  void ReleaseId(uint32_t id);
+
+  mutable std::mutex mu_;
+  std::vector<uint32_t> free_ids_;  // Min-heap; guarded by mu_.
+  uint32_t next_unused_ = 0;        // Guarded by mu_.
+  std::atomic<uint32_t> high_watermark_{0};
+  std::atomic<uint32_t> live_{0};
+};
+
+}  // namespace optiql
+
+#endif  // OPTIQL_SYNC_THREAD_REGISTRY_H_

@@ -1,0 +1,187 @@
+// Delete-time rebalancing: node counts shrink with removals, a fully
+// drained tree collapses back to a single leaf, concurrent churn keeps the
+// node count bounded without losing keys, and unlinked nodes flow through
+// the epoch layer. Exercised across all three synchronization protocols.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "common/random.h"
+#include "index/btree.h"
+#include "sync/epoch.h"
+
+namespace optiql {
+namespace {
+
+using OlcTree = BTree<uint64_t, uint64_t, BTreeOlcPolicy>;
+using OptiQlTree = BTree<uint64_t, uint64_t, BTreeOptiQlPolicy<OptiQL>>;
+using OptiQlAorTree =
+    BTree<uint64_t, uint64_t, BTreeOptiQlPolicy<OptiQL, /*kAor=*/true>>;
+using McsRwTree = BTree<uint64_t, uint64_t, BTreeCouplingPolicy<McsRwLock>>;
+
+template <class Tree>
+class BTreeChurnTest : public ::testing::Test {};
+
+// Protocol names in test ids (BTreeChurnTest/McsRw....) so sanitizer CI
+// jobs can filter the pessimistic trees by name.
+struct ChurnTreeNames {
+  template <class T>
+  static std::string GetName(int) {
+    if (std::is_same_v<T, OlcTree>) return "Olc";
+    if (std::is_same_v<T, OptiQlTree>) return "OptiQl";
+    if (std::is_same_v<T, OptiQlAorTree>) return "OptiQlAor";
+    if (std::is_same_v<T, McsRwTree>) return "McsRw";
+    return "Unknown";
+  }
+};
+
+using ChurnTreeTypes =
+    ::testing::Types<OlcTree, OptiQlTree, OptiQlAorTree, McsRwTree>;
+TYPED_TEST_SUITE(BTreeChurnTest, ChurnTreeTypes, ChurnTreeNames);
+
+TYPED_TEST(BTreeChurnTest, RemoveShrinksNodeCount) {
+  TypeParam tree;
+  constexpr uint64_t kKeys = 20000;
+  for (uint64_t k = 0; k < kKeys; ++k) ASSERT_TRUE(tree.Insert(k, k + 1));
+  const size_t full_nodes = tree.NodeCount();
+
+  // Drop 90% of the population; merges must shed a matching share of the
+  // nodes instead of leaving a husk of near-empty leaves.
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    if (k % 10 != 0) ASSERT_TRUE(tree.Remove(k));
+  }
+  tree.CheckInvariants();
+  EXPECT_LT(tree.NodeCount(), full_nodes / 2);
+
+  const auto stats = tree.GetStats();
+  EXPECT_GT(stats.leaf_merges, 0u);
+  EXPECT_GT(stats.nodes_retired, 0u);
+  for (uint64_t k = 0; k < kKeys; k += 10) {
+    uint64_t out = 0;
+    ASSERT_TRUE(tree.Lookup(k, out)) << k;
+    ASSERT_EQ(out, k + 1);
+  }
+}
+
+TYPED_TEST(BTreeChurnTest, RemovingEverythingCollapsesToSingleLeaf) {
+  TypeParam tree;
+  constexpr uint64_t kKeys = 5000;
+  for (uint64_t k = 0; k < kKeys; ++k) ASSERT_TRUE(tree.Insert(k, k));
+  EXPECT_GT(tree.Height(), 1);
+  for (uint64_t k = 0; k < kKeys; ++k) ASSERT_TRUE(tree.Remove(k));
+
+  EXPECT_EQ(tree.Size(), 0u);
+  EXPECT_EQ(tree.NodeCount(), 1u);
+  EXPECT_EQ(tree.Height(), 1);
+  tree.CheckInvariants();
+  EXPECT_GT(tree.GetStats().root_collapses, 0u);
+}
+
+TYPED_TEST(BTreeChurnTest, ConcurrentChurnBoundedNodesNoLostKeys) {
+  TypeParam tree;
+  constexpr int kThreads = 4;
+  constexpr uint64_t kRange = 4000;  // Disjoint per-thread key ranges.
+  constexpr int kOpsPerThread = 30000;
+
+  std::vector<std::set<uint64_t>> oracle(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tree, &oracle, t] {
+      Xoshiro256 rng(0x9E3779B9ULL + static_cast<uint64_t>(t));
+      std::set<uint64_t>& mine = oracle[static_cast<size_t>(t)];
+      const uint64_t base = static_cast<uint64_t>(t) * kRange;
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const uint64_t key = base + rng.NextBounded(kRange);
+        if (rng.NextBounded(2) == 0) {
+          if (tree.Insert(key, key * 2 + 1)) {
+            ASSERT_TRUE(mine.insert(key).second);
+          } else {
+            ASSERT_TRUE(mine.count(key) == 1);
+          }
+        } else {
+          if (tree.Remove(key)) {
+            ASSERT_EQ(mine.erase(key), 1u);
+          } else {
+            ASSERT_TRUE(mine.count(key) == 0);
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  tree.CheckInvariants();
+
+  size_t live_keys = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    live_keys += oracle[static_cast<size_t>(t)].size();
+    const uint64_t base = static_cast<uint64_t>(t) * kRange;
+    for (uint64_t k = base; k < base + kRange; ++k) {
+      uint64_t out = 0;
+      const bool found = tree.Lookup(k, out);
+      ASSERT_EQ(found, oracle[static_cast<size_t>(t)].count(k) == 1) << k;
+      if (found) ASSERT_EQ(out, k * 2 + 1);
+    }
+  }
+  EXPECT_EQ(tree.Size(), live_keys);
+
+  // With merges active, leaves sit near or above quarter occupancy, so the
+  // node count is within a small factor of the minimum; without them the
+  // churn above strands far more near-empty nodes.
+  const size_t quarter = std::max<size_t>(1, TypeParam::LeafCapacity() / 4);
+  const size_t bound = 2 * (kThreads * kRange / quarter + 16);
+  EXPECT_LE(tree.NodeCount(), bound);
+}
+
+TYPED_TEST(BTreeChurnTest, SecondChurnWindowReachesSteadyState) {
+  // Two identical single-threaded churn windows over a fixed population:
+  // the node count after the second must not drift past the first by more
+  // than a small slack — the "steady state" the merges exist to provide.
+  TypeParam tree;
+  constexpr uint64_t kKeys = 8000;
+  for (uint64_t k = 0; k < kKeys; ++k) ASSERT_TRUE(tree.Insert(k, k));
+
+  auto churn = [&tree](uint64_t seed) {
+    Xoshiro256 rng(seed);
+    for (int i = 0; i < 60000; ++i) {
+      const uint64_t key = rng.NextBounded(kKeys);
+      if (rng.NextBounded(2) == 0) {
+        tree.Insert(key, key);
+      } else {
+        tree.Remove(key);
+      }
+    }
+  };
+  churn(1);
+  const size_t after_first = tree.NodeCount();
+  churn(2);
+  const size_t after_second = tree.NodeCount();
+  tree.CheckInvariants();
+  EXPECT_LE(after_second, after_first + after_first / 4 + 16);
+}
+
+TYPED_TEST(BTreeChurnTest, RetiredNodesFlowThroughEpochReclamation) {
+  EpochManager& epochs = EpochManager::Instance();
+  const uint64_t retired_before = epochs.TotalRetired();
+  {
+    TypeParam tree;
+    constexpr uint64_t kKeys = 5000;
+    for (uint64_t k = 0; k < kKeys; ++k) ASSERT_TRUE(tree.Insert(k, k));
+    for (uint64_t k = 0; k < kKeys; ++k) ASSERT_TRUE(tree.Remove(k));
+    const auto stats = tree.GetStats();
+    EXPECT_GT(stats.nodes_retired, 0u);
+    EXPECT_EQ(epochs.TotalRetired() - retired_before, stats.nodes_retired);
+  }
+  // Single-threaded here, so the full drain is safe; afterwards nothing
+  // this thread retired may remain pending.
+  epochs.ReclaimAllUnsafe();
+  EXPECT_GT(epochs.TotalRetired() - retired_before, 0u);
+  EXPECT_EQ(epochs.RetiredCount(), 0u);
+}
+
+}  // namespace
+}  // namespace optiql

@@ -5,7 +5,9 @@
 
 #include <atomic>
 #include <set>
+#include <string>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "common/random.h"
@@ -26,9 +28,24 @@ using PthreadTree =
 template <class Tree>
 class BTreeConcurrentTest : public ::testing::Test {};
 
+// Protocol names in test ids (BTreeConcurrentTest/McsRw....) so sanitizer
+// CI jobs can filter the pessimistic trees by name.
+struct TreeNames {
+  template <class T>
+  static std::string GetName(int) {
+    if (std::is_same_v<T, OlcTree>) return "Olc";
+    if (std::is_same_v<T, OptiQlTree>) return "OptiQl";
+    if (std::is_same_v<T, OptiQlNorTree>) return "OptiQlNor";
+    if (std::is_same_v<T, OptiQlAorTree>) return "OptiQlAor";
+    if (std::is_same_v<T, McsRwTree>) return "McsRw";
+    if (std::is_same_v<T, PthreadTree>) return "Pthread";
+    return "Unknown";
+  }
+};
+
 using TreeTypes = ::testing::Types<OlcTree, OptiQlTree, OptiQlNorTree,
                                    OptiQlAorTree, McsRwTree, PthreadTree>;
-TYPED_TEST_SUITE(BTreeConcurrentTest, TreeTypes);
+TYPED_TEST_SUITE(BTreeConcurrentTest, TreeTypes, TreeNames);
 
 TYPED_TEST(BTreeConcurrentTest, DisjointConcurrentInserts) {
   TypeParam tree;

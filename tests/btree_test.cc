@@ -7,6 +7,8 @@
 
 #include <map>
 #include <random>
+#include <string>
+#include <type_traits>
 #include <vector>
 
 #include "common/random.h"
@@ -26,9 +28,25 @@ using PthreadTree =
 template <class Tree>
 class BTreeTest : public ::testing::Test {};
 
+// Names the typed instantiations after their protocol (BTreeTest/Olc....)
+// so ctest output is readable and --gtest_filter can select protocols,
+// e.g. the TSan CI job running only the pessimistic trees.
+struct TreeNames {
+  template <class T>
+  static std::string GetName(int) {
+    if (std::is_same_v<T, OlcTree>) return "Olc";
+    if (std::is_same_v<T, OptiQlTree>) return "OptiQl";
+    if (std::is_same_v<T, OptiQlNorTree>) return "OptiQlNor";
+    if (std::is_same_v<T, OptiQlAorTree>) return "OptiQlAor";
+    if (std::is_same_v<T, McsRwTree>) return "McsRw";
+    if (std::is_same_v<T, PthreadTree>) return "Pthread";
+    return "Unknown";
+  }
+};
+
 using TreeTypes = ::testing::Types<OlcTree, OptiQlTree, OptiQlNorTree,
                                    OptiQlAorTree, McsRwTree, PthreadTree>;
-TYPED_TEST_SUITE(BTreeTest, TreeTypes);
+TYPED_TEST_SUITE(BTreeTest, TreeTypes, TreeNames);
 
 TYPED_TEST(BTreeTest, EmptyTreeLookupMisses) {
   TypeParam tree;

@@ -1,0 +1,118 @@
+// ThreadRegistry: stable dense IDs, reuse after exit, reverse-order exit
+// hooks, and liveness accounting. The registry is the single registration
+// point for the epoch manager's slots and the qnode caches, so these
+// properties underpin both.
+#include "sync/thread_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace optiql {
+namespace {
+
+TEST(ThreadRegistryTest, IdIsStableWithinThread) {
+  const uint32_t first = ThreadRegistry::CurrentThreadId();
+  const uint32_t second = ThreadRegistry::CurrentThreadId();
+  EXPECT_EQ(first, second);
+  EXPECT_LT(first, ThreadRegistry::kMaxThreads);
+}
+
+TEST(ThreadRegistryTest, ConcurrentThreadsGetDistinctIds) {
+  constexpr int kThreads = 16;
+  std::vector<uint32_t> ids(kThreads);
+  std::atomic<int> arrived{0};
+  std::atomic<bool> release{false};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      ids[static_cast<size_t>(i)] = ThreadRegistry::CurrentThreadId();
+      // Hold the registration until every thread has one, so the IDs must
+      // all be simultaneously live (no reuse can make them collide).
+      arrived.fetch_add(1, std::memory_order_acq_rel);
+      while (!release.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+    });
+  }
+  while (arrived.load(std::memory_order_acquire) < kThreads) {
+    std::this_thread::yield();
+  }
+  release.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+
+  std::set<uint32_t> distinct(ids.begin(), ids.end());
+  EXPECT_EQ(distinct.size(), static_cast<size_t>(kThreads));
+  for (uint32_t id : ids) EXPECT_LT(id, ThreadRegistry::kMaxThreads);
+}
+
+TEST(ThreadRegistryTest, IdsAreReusedAfterThreadExit) {
+  uint32_t first_id = ThreadRegistry::kInvalidId;
+  std::thread a([&] { first_id = ThreadRegistry::CurrentThreadId(); });
+  a.join();
+  const uint32_t watermark = ThreadRegistry::Instance().high_watermark();
+
+  // The freed ID is the lowest available, so a successor (with no other
+  // registrations racing) gets the same one and the watermark holds.
+  uint32_t second_id = ThreadRegistry::kInvalidId;
+  std::thread b([&] { second_id = ThreadRegistry::CurrentThreadId(); });
+  b.join();
+  EXPECT_EQ(first_id, second_id);
+  EXPECT_EQ(ThreadRegistry::Instance().high_watermark(), watermark);
+}
+
+TEST(ThreadRegistryTest, ExitHooksRunInReverseRegistrationOrder) {
+  static std::vector<int> order;
+  order.clear();
+  std::thread t([] {
+    ThreadRegistry::AtThreadExit([](void*) { order.push_back(1); }, nullptr);
+    ThreadRegistry::AtThreadExit([](void*) { order.push_back(2); }, nullptr);
+    ThreadRegistry::AtThreadExit([](void*) { order.push_back(3); }, nullptr);
+  });
+  t.join();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 3);
+  EXPECT_EQ(order[1], 2);
+  EXPECT_EQ(order[2], 1);
+}
+
+TEST(ThreadRegistryTest, ExitHookReceivesItsArgument) {
+  static std::atomic<int> value{0};
+  value = 0;
+  static int payload = 42;
+  std::thread t([] {
+    ThreadRegistry::AtThreadExit(
+        [](void* arg) {
+          value.store(*static_cast<int*>(arg), std::memory_order_release);
+        },
+        &payload);
+  });
+  t.join();
+  EXPECT_EQ(value.load(std::memory_order_acquire), 42);
+}
+
+TEST(ThreadRegistryTest, LiveThreadCountTracksRegistrations) {
+  const uint32_t before = ThreadRegistry::Instance().live_threads();
+  std::atomic<bool> registered{false};
+  std::atomic<bool> release{false};
+  std::thread t([&] {
+    ThreadRegistry::CurrentThreadId();
+    registered.store(true, std::memory_order_release);
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  });
+  while (!registered.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(ThreadRegistry::Instance().live_threads(), before + 1);
+  release.store(true, std::memory_order_release);
+  t.join();
+  EXPECT_EQ(ThreadRegistry::Instance().live_threads(), before);
+}
+
+}  // namespace
+}  // namespace optiql
