@@ -62,6 +62,11 @@ template <class Tree>
   requires internal::HasNodeCount<Tree>
 SteadyStateReport RunChurnWindows(Tree& tree, const IndexWorkload& workload) {
   SteadyStateReport report;
+  // The retire/reclaim totals are process-global; retirements left pending
+  // by earlier rows' trees would count into this row's reclaimed delta.
+  // All worker threads have joined by now, so the caller is the only
+  // thread inside the epoch layer and an unconditional drain is safe.
+  EpochManager::Instance().ReclaimAllUnsafe();
   report.nodes_preload = tree.NodeCount();
   const uint64_t retired0 = EpochManager::Instance().TotalRetired();
   const uint64_t reclaimed0 = EpochManager::Instance().TotalReclaimed();

@@ -555,10 +555,22 @@ class BTree {
           out.push_back(batch[i]);
         }
         if (next == nullptr || out.size() >= limit) break;
-        if (!ReadLockOrRestart(next->lock, v)) {
+        uint64_t nv;
+        if (!ReadLockOrRestart(next->lock, nv)) {
           failed = true;
           break;
         }
+        // Two-step handover, as in the descent: re-validate this leaf
+        // after snapshotting `next`. Leaf rotations move keys across this
+        // boundary with only version bumps (no obsolete mark), so without
+        // the re-check a rotation landing between the batch validation
+        // above and the next-leaf snapshot could make the scan miss a key
+        // (moved next->current) or return one twice (moved current->next).
+        if (!Validate(leaf->lock, v)) {
+          failed = true;
+          break;
+        }
+        v = nv;
         leaf = next;
       }
       if (failed) continue;
@@ -712,12 +724,20 @@ class BTree {
         // while descending for a remove, so SMOs never propagate upwards.
         if (kind == WriteKind::kRemove && parent != nullptr &&
             inner->count <= kInnerMin) {
-          if (RebalanceInner(parent, pv, parent_is_root, inner, v)) {
+          bool screen_restart = false;
+          if (RebalanceInnerMightHelp(parent, pv, parent_is_root, inner,
+                                      &screen_restart)) {
+            if (RebalanceInner(parent, pv, parent_is_root, inner, v)) {
+              restart = true;
+              break;
+            }
+          } else if (screen_restart) {
             restart = true;
             break;
           }
           // No profitable rebalance: every lock was released without a
-          // version bump, so the snapshots stay valid — keep descending.
+          // version bump (or none was taken at all), so the snapshots stay
+          // valid — keep descending.
         }
         const uint16_t n = LoadCount(inner, kInnerMax);
         NodeBase* child = inner->children[inner->ChildIndex(key, n)];
@@ -1179,6 +1199,38 @@ class BTree {
       return;
     }
     parent->lock.ReleaseEx();
+  }
+
+  // Lock-free pre-screen for RebalanceInner: peeks at the node's neighbour
+  // under the parent snapshot and reports whether a merge could fit or a
+  // rotation could cure the underflow. Without it every remove descending
+  // past a permanently-underfull inner node (tiny geometry, drained
+  // siblings) would upgrade two locks and block on the sibling only to
+  // back out, serializing hot inner nodes. The counts are unvalidated —
+  // they gate a heuristic only; the locked pass re-checks everything. On a
+  // dead parent snapshot sets *restart and returns false.
+  bool RebalanceInnerMightHelp(const Inner* parent, uint64_t pv,
+                               bool parent_is_root, const Inner* inner,
+                               bool* restart) const {
+    const uint16_t pn = LoadCount(parent, kInnerMax);
+    uint16_t idx = 0;
+    while (idx <= pn && parent->children[idx] != inner) ++idx;
+    if (idx > pn || pn == 0) {
+      // Racy miss, or no visible sibling: let the locked pass decide.
+      return true;
+    }
+    const NodeBase* sibling = parent->children[idx < pn ? idx + 1 : idx - 1];
+    if (!Validate(parent->lock, pv)) {
+      *restart = true;
+      return false;
+    }
+    // `sibling` is now a real child pointer; even if it is merged away
+    // concurrently its memory stays valid under our epoch guard.
+    const uint16_t n = LoadCount(inner, kInnerMax);
+    const uint16_t s = LoadCount(sibling, kInnerMax);
+    const bool merge_fits =
+        n + s + 1 <= kInnerMax && (pn >= 2 || parent_is_root);
+    return merge_fits || RotationHelps(n, s, kInnerMin);
   }
 
   // Rebalances an underfull inner node during an optimistic descent.

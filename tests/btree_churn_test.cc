@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <set>
 #include <string>
 #include <thread>
@@ -162,6 +163,63 @@ TYPED_TEST(BTreeChurnTest, SecondChurnWindowReachesSteadyState) {
   const size_t after_second = tree.NodeCount();
   tree.CheckInvariants();
   EXPECT_LE(after_second, after_first + after_first / 4 + 16);
+}
+
+TYPED_TEST(BTreeChurnTest, ScansUnderChurnSeeStableKeysExactlyOnce) {
+  // Regression test for the scan/rotation race: delete-time rotations move
+  // keys between adjacent leaves with only version bumps (no obsolete
+  // marker), so a scan that hands over to the next leaf without
+  // re-validating the current one can miss a rotated key or return it
+  // twice. A skeleton of untouched keys must appear in every scan exactly
+  // once, in order, no matter how the volatile keys around it churn.
+  // A small tree keeps every scan revisiting the same few leaf boundaries
+  // while contiguous remove/reinsert waves drive rotations across them (a
+  // drained leaf next to a still-full one, where a merge cannot fit), so a
+  // handover racing a rotation is actually reachable within test time.
+  TypeParam tree;
+  constexpr uint64_t kKeys = 256;
+  for (uint64_t k = 0; k < kKeys; ++k) ASSERT_TRUE(tree.Insert(k, k));
+
+  std::atomic<bool> stop{false};
+  constexpr int kChurners = 3;
+  std::vector<std::thread> churners;
+  for (int t = 0; t < kChurners; ++t) {
+    churners.emplace_back([&tree, &stop, t] {
+      Xoshiro256 rng(0xC0FFEEULL + static_cast<uint64_t>(t));
+      while (!stop.load(std::memory_order_acquire)) {
+        const uint64_t base = rng.NextBounded(kKeys - 16);
+        for (uint64_t k = base; k < base + 16; ++k) {
+          if (k % 4 != 0) tree.Remove(k);  // Never touch the skeleton.
+        }
+        for (uint64_t k = base; k < base + 16; ++k) {
+          if (k % 4 != 0) tree.Insert(k, k);
+        }
+      }
+    });
+  }
+
+  // Native builds finish all rounds in about a second; the deadline keeps
+  // sanitizer jobs bounded at the cost of running fewer rounds.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  for (int round = 0; round < 400000; ++round) {
+    if ((round & 1023) == 0 && std::chrono::steady_clock::now() > deadline) {
+      break;
+    }
+    tree.Scan(0, kKeys + 16, out);
+    for (size_t i = 1; i < out.size(); ++i) {
+      ASSERT_LT(out[i - 1].first, out[i].first);  // Sorted, no duplicates.
+    }
+    size_t stable_seen = 0;
+    for (const auto& kv : out) {
+      if (kv.first % 4 == 0) ++stable_seen;
+    }
+    ASSERT_EQ(stable_seen, kKeys / 4);
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : churners) t.join();
+  tree.CheckInvariants();
 }
 
 TYPED_TEST(BTreeChurnTest, RetiredNodesFlowThroughEpochReclamation) {
