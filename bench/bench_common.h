@@ -1,9 +1,12 @@
-// Shared helpers for the per-figure benchmark binaries: flag parsing and
-// banner printing. Every binary accepts:
+// Shared helpers for the per-figure benchmark binaries: flag parsing,
+// banner printing, and machine-readable result emission. Every binary
+// accepts:
 //   --threads=a,b,c     thread counts to sweep (default: env/auto)
 //   --duration=MS       per-data-point duration (default: env or 150 ms)
 //   --records=N         index preload size (default: env or 100000)
 //   --full              paper-scale parameters (slower)
+//   --json[=PATH]       also emit results as a JSON array (benches that
+//                       support it write BENCH_<name>.json by default)
 // Environment fallbacks: OPTIQL_BENCH_THREADS, OPTIQL_BENCH_DURATION_MS,
 // OPTIQL_BENCH_RECORDS.
 #ifndef OPTIQL_BENCH_BENCH_COMMON_H_
@@ -12,8 +15,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <initializer_list>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "harness/bench_runner.h"
@@ -25,6 +30,8 @@ struct BenchFlags {
   int duration_ms = 150;
   uint64_t records = 100000;
   bool full = false;
+  bool json = false;
+  std::string json_path;  // Empty: the binary picks its default name.
 
   static BenchFlags Parse(int argc, char** argv) {
     BenchFlags flags;
@@ -51,10 +58,15 @@ struct BenchFlags {
         flags.full = true;
         flags.duration_ms = 1000;
         flags.records = 10000000;
+      } else if (arg == "--json") {
+        flags.json = true;
+      } else if (arg.rfind("--json=", 0) == 0) {
+        flags.json = true;
+        flags.json_path = arg.substr(7);
       } else if (arg == "--help" || arg == "-h") {
         std::printf(
             "usage: %s [--threads=a,b,c] [--duration=ms] [--records=n] "
-            "[--full]\n",
+            "[--full] [--json[=path]]\n",
             argv[0]);
         std::exit(0);
       }
@@ -67,6 +79,75 @@ struct BenchFlags {
     for (int t : threads) max = std::max(max, t);
     return max;
   }
+};
+
+// Accumulates benchmark rows and writes them as a JSON array of flat
+// objects — the machine-readable counterpart of the printed tables, so a
+// driver can track the repo's perf trajectory across commits. Values are
+// emitted verbatim when they look numeric and quoted otherwise.
+class JsonBenchWriter {
+ public:
+  using Field = std::pair<const char*, std::string>;
+
+  void AddRecord(std::initializer_list<Field> fields) {
+    std::string row = "  {";
+    bool first = true;
+    for (const Field& f : fields) {
+      if (!first) row += ", ";
+      first = false;
+      row += '"';
+      row += f.first;
+      row += "\": ";
+      row += IsNumeric(f.second) ? f.second : Quote(f.second);
+    }
+    row += '}';
+    rows_.push_back(std::move(row));
+  }
+
+  static std::string Num(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+  }
+
+  // Writes `[ ...rows ]`; returns false (and prints a warning) on I/O
+  // failure so benches can keep their printed output authoritative.
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fputs("[\n", f);
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      std::fputs(rows_[i].c_str(), f);
+      std::fputs(i + 1 < rows_.size() ? ",\n" : "\n", f);
+    }
+    std::fputs("]\n", f);
+    const bool ok = std::fclose(f) == 0;
+    if (ok) std::printf("wrote %zu records to %s\n", rows_.size(), path.c_str());
+    return ok;
+  }
+
+ private:
+  static bool IsNumeric(const std::string& s) {
+    if (s.empty()) return false;
+    char* end = nullptr;
+    std::strtod(s.c_str(), &end);
+    return end != nullptr && *end == '\0';
+  }
+
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += '"';
+    return out;
+  }
+
+  std::vector<std::string> rows_;
 };
 
 inline void PrintBanner(const char* experiment, const char* paper_ref,

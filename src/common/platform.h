@@ -3,6 +3,7 @@
 #ifndef OPTIQL_COMMON_PLATFORM_H_
 #define OPTIQL_COMMON_PLATFORM_H_
 
+#include <cstddef>
 #include <cstdint>
 
 #if defined(__x86_64__) || defined(_M_X64)
@@ -20,6 +21,28 @@ namespace optiql {
 inline constexpr std::size_t kCachelineSize = 64;
 
 #define OPTIQL_CACHELINE_ALIGNED alignas(::optiql::kCachelineSize)
+
+// Software prefetch into the read cache hierarchy. Prefetch instructions
+// are hints and never fault, so this is safe on ANY pointer value —
+// including a child pointer read optimistically from a node whose version
+// has not been validated yet (the descent prefetch in the indexes relies
+// on exactly that).
+inline void PrefetchRead(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+#else
+  (void)p;
+#endif
+}
+
+// Prefetches the first `bytes` bytes starting at `p`, one request per
+// cacheline (e.g. a node header plus the start of its key array).
+inline void PrefetchSpan(const void* p, std::size_t bytes) {
+  const char* c = static_cast<const char*>(p);
+  for (std::size_t off = 0; off < bytes; off += kCachelineSize) {
+    PrefetchRead(c + off);
+  }
+}
 
 // A CPU relaxation hint for busy-wait loops (PAUSE on x86, YIELD on ARM).
 inline void CpuPause() {

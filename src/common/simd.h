@@ -1,0 +1,449 @@
+// Portable SIMD search kernels for the index hot paths: branchless
+// lower/upper bound over sorted key arrays (B+-tree leaf and inner nodes)
+// and byte-equality probes (ART Node4/Node16 FindChild).
+//
+// Backend selection, in order:
+//   * OPTIQL_FORCE_SCALAR   — every kernel uses the scalar fallback
+//                             (CMake -DOPTIQL_FORCE_SCALAR=ON; the CI
+//                             matrix keeps this leg compiled and tested).
+//   * __AVX2__              — 256-bit kernels (4x64 / 8x32 lanes).
+//   * __SSE2__ / x86-64     — 128-bit kernels; 64-bit signed compare is
+//                             emulated (SSE2 has no pcmpgtq).
+//   * __aarch64__ (NEON)    — 128-bit kernels.
+//   * otherwise             — scalar fallback.
+//
+// Concurrency contract (optimistic readers): kernels may be handed key
+// arrays that a concurrent writer is tearing, so lane contents are
+// untrusted garbage until the caller re-validates the node version — every
+// kernel therefore only promises memory safety, not a meaningful result,
+// on racy input. Memory safety is unconditional:
+//   * LowerBound/UpperBound never read at or past index `n` (vector blocks
+//     are count-clamped; the tail is scalar), so a torn-but-clamped count
+//     keeps every access inside the node.
+//   * FindByte16/FindByte4 require the full fixed-size node array (16/4
+//     readable bytes) and clamp `count` to it; ART node key arrays are
+//     always materialized at full size.
+// Results computed from torn data are discarded when version validation
+// fails, exactly as with the scalar code these kernels replace.
+#ifndef OPTIQL_COMMON_SIMD_H_
+#define OPTIQL_COMMON_SIMD_H_
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "common/platform.h"
+
+#if defined(OPTIQL_FORCE_SCALAR)
+#define OPTIQL_SIMD_BACKEND_NAME "scalar(forced)"
+#elif defined(__AVX2__)
+#define OPTIQL_SIMD_AVX2 1
+#define OPTIQL_SIMD_BACKEND_NAME "avx2"
+#include <immintrin.h>
+#elif defined(__SSE2__) || defined(__x86_64__) || defined(_M_X64)
+#define OPTIQL_SIMD_SSE2 1
+#define OPTIQL_SIMD_BACKEND_NAME "sse2"
+#include <emmintrin.h>
+#elif defined(__aarch64__)
+#define OPTIQL_SIMD_NEON 1
+#define OPTIQL_SIMD_BACKEND_NAME "neon"
+#include <arm_neon.h>
+#else
+#define OPTIQL_SIMD_BACKEND_NAME "scalar"
+#endif
+
+namespace optiql {
+namespace simd {
+
+// Human-readable name of the compiled-in backend (benchmark banners).
+inline constexpr const char* kBackendName = OPTIQL_SIMD_BACKEND_NAME;
+
+// Large nodes binary-search down to a window of this many keys, then scan
+// the window in vector-width blocks. Must be a multiple of every lane
+// count; 32 keys keeps the scan at <= 8 vector probes.
+inline constexpr uint16_t kLinearWindow = 32;
+
+// --- Scalar reference kernels (always compiled; benchmark baselines) ---
+
+// First position in the sorted range keys[0..n) with keys[pos] >= key.
+template <class T>
+inline uint16_t ScalarLowerBound(const T* keys, uint16_t n, const T& key) {
+  unsigned lo = 0, hi = n;
+  while (lo < hi) {
+    const unsigned mid = (lo + hi) / 2;
+    if (keys[mid] < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return static_cast<uint16_t>(lo);
+}
+
+// First position in the sorted range keys[0..n) with keys[pos] > key.
+template <class T>
+inline uint16_t ScalarUpperBound(const T* keys, uint16_t n, const T& key) {
+  unsigned lo = 0, hi = n;
+  while (lo < hi) {
+    const unsigned mid = (lo + hi) / 2;
+    if (!(key < keys[mid])) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return static_cast<uint16_t>(lo);
+}
+
+// First index i < count with keys[i] == byte, else -1.
+inline int ScalarFindByte(const uint8_t* keys, uint16_t count, uint8_t byte) {
+  for (uint16_t i = 0; i < count; ++i) {
+    if (keys[i] == byte) return i;
+  }
+  return -1;
+}
+
+// --- Lane traits ---
+//
+// A LaneTraits<T> specialization teaches the generic search loops how to
+// probe kLanes keys at once. LtMask/GtMask load kLanes keys from `p` and
+// return one bit per lane (bit i = lane i) of keys[i] < key (resp. >).
+// Unsigned types are biased to signed bit patterns so one signed compare
+// serves both.
+
+template <class T, class Enable = void>
+struct LaneTraits {
+  static constexpr bool kEnabled = false;
+};
+
+#if defined(OPTIQL_SIMD_AVX2)
+
+template <class T>
+struct LaneTraits<T, std::enable_if_t<std::is_integral_v<T> &&
+                                      sizeof(T) == 8>> {
+  static constexpr bool kEnabled = true;
+  static constexpr uint16_t kLanes = 4;
+  static constexpr unsigned kFullMask = 0xF;
+  using KeyVec = __m256i;
+
+  static __m256i Bias(__m256i v) {
+    if constexpr (std::is_signed_v<T>) {
+      return v;
+    } else {
+      return _mm256_xor_si256(v, _mm256_set1_epi64x(INT64_MIN));
+    }
+  }
+  static KeyVec Broadcast(T key) {
+    return Bias(_mm256_set1_epi64x(static_cast<int64_t>(key)));
+  }
+  static __m256i Load(const T* p) {
+    return Bias(_mm256_loadu_si256(reinterpret_cast<const __m256i*>(p)));
+  }
+  static unsigned LtMask(const T* p, KeyVec key) {
+    return static_cast<unsigned>(_mm256_movemask_pd(
+        _mm256_castsi256_pd(_mm256_cmpgt_epi64(key, Load(p)))));
+  }
+  static unsigned GtMask(const T* p, KeyVec key) {
+    return static_cast<unsigned>(_mm256_movemask_pd(
+        _mm256_castsi256_pd(_mm256_cmpgt_epi64(Load(p), key))));
+  }
+};
+
+template <class T>
+struct LaneTraits<T, std::enable_if_t<std::is_integral_v<T> &&
+                                      sizeof(T) == 4>> {
+  static constexpr bool kEnabled = true;
+  static constexpr uint16_t kLanes = 8;
+  static constexpr unsigned kFullMask = 0xFF;
+  using KeyVec = __m256i;
+
+  static __m256i Bias(__m256i v) {
+    if constexpr (std::is_signed_v<T>) {
+      return v;
+    } else {
+      return _mm256_xor_si256(v, _mm256_set1_epi32(INT32_MIN));
+    }
+  }
+  static KeyVec Broadcast(T key) {
+    return Bias(_mm256_set1_epi32(static_cast<int32_t>(key)));
+  }
+  static __m256i Load(const T* p) {
+    return Bias(_mm256_loadu_si256(reinterpret_cast<const __m256i*>(p)));
+  }
+  static unsigned LtMask(const T* p, KeyVec key) {
+    return static_cast<unsigned>(_mm256_movemask_ps(
+        _mm256_castsi256_ps(_mm256_cmpgt_epi32(key, Load(p)))));
+  }
+  static unsigned GtMask(const T* p, KeyVec key) {
+    return static_cast<unsigned>(_mm256_movemask_ps(
+        _mm256_castsi256_ps(_mm256_cmpgt_epi32(Load(p), key))));
+  }
+};
+
+#elif defined(OPTIQL_SIMD_SSE2)
+
+// Signed 64-bit a > b without SSE4.2's pcmpgtq: the high dwords decide,
+// except on a tie, where the borrow of the low-dword subtraction (sign of
+// (b - a)'s high dword) decides. The final shuffle broadcasts each lane's
+// high dword over the full lane.
+inline __m128i CmpGtI64Sse2(__m128i a, __m128i b) {
+  __m128i r = _mm_and_si128(_mm_cmpeq_epi32(a, b), _mm_sub_epi64(b, a));
+  r = _mm_or_si128(r, _mm_cmpgt_epi32(a, b));
+  return _mm_shuffle_epi32(r, _MM_SHUFFLE(3, 3, 1, 1));
+}
+
+template <class T>
+struct LaneTraits<T, std::enable_if_t<std::is_integral_v<T> &&
+                                      sizeof(T) == 8>> {
+  static constexpr bool kEnabled = true;
+  static constexpr uint16_t kLanes = 2;
+  static constexpr unsigned kFullMask = 0x3;
+  using KeyVec = __m128i;
+
+  static __m128i Bias(__m128i v) {
+    if constexpr (std::is_signed_v<T>) {
+      return v;
+    } else {
+      return _mm_xor_si128(v, _mm_set1_epi64x(INT64_MIN));
+    }
+  }
+  static KeyVec Broadcast(T key) {
+    return Bias(_mm_set1_epi64x(static_cast<int64_t>(key)));
+  }
+  static __m128i Load(const T* p) {
+    return Bias(_mm_loadu_si128(reinterpret_cast<const __m128i*>(p)));
+  }
+  static unsigned LtMask(const T* p, KeyVec key) {
+    return static_cast<unsigned>(
+        _mm_movemask_pd(_mm_castsi128_pd(CmpGtI64Sse2(key, Load(p)))));
+  }
+  static unsigned GtMask(const T* p, KeyVec key) {
+    return static_cast<unsigned>(
+        _mm_movemask_pd(_mm_castsi128_pd(CmpGtI64Sse2(Load(p), key))));
+  }
+};
+
+template <class T>
+struct LaneTraits<T, std::enable_if_t<std::is_integral_v<T> &&
+                                      sizeof(T) == 4>> {
+  static constexpr bool kEnabled = true;
+  static constexpr uint16_t kLanes = 4;
+  static constexpr unsigned kFullMask = 0xF;
+  using KeyVec = __m128i;
+
+  static __m128i Bias(__m128i v) {
+    if constexpr (std::is_signed_v<T>) {
+      return v;
+    } else {
+      return _mm_xor_si128(v, _mm_set1_epi32(INT32_MIN));
+    }
+  }
+  static KeyVec Broadcast(T key) {
+    return Bias(_mm_set1_epi32(static_cast<int32_t>(key)));
+  }
+  static __m128i Load(const T* p) {
+    return Bias(_mm_loadu_si128(reinterpret_cast<const __m128i*>(p)));
+  }
+  static unsigned LtMask(const T* p, KeyVec key) {
+    return static_cast<unsigned>(
+        _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpgt_epi32(key, Load(p)))));
+  }
+  static unsigned GtMask(const T* p, KeyVec key) {
+    return static_cast<unsigned>(
+        _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpgt_epi32(Load(p), key))));
+  }
+};
+
+#elif defined(OPTIQL_SIMD_NEON)
+
+template <class T>
+struct LaneTraits<T, std::enable_if_t<std::is_integral_v<T> &&
+                                      sizeof(T) == 8>> {
+  static constexpr bool kEnabled = true;
+  static constexpr uint16_t kLanes = 2;
+  static constexpr unsigned kFullMask = 0x3;
+  using KeyVec = int64x2_t;
+
+  static KeyVec Broadcast(T key) {
+    int64_t biased = static_cast<int64_t>(key);
+    if constexpr (!std::is_signed_v<T>) biased ^= INT64_MIN;
+    return vdupq_n_s64(biased);
+  }
+  static int64x2_t Load(const T* p) {
+    int64x2_t v = vreinterpretq_s64_u8(
+        vld1q_u8(reinterpret_cast<const uint8_t*>(p)));
+    if constexpr (!std::is_signed_v<T>) {
+      v = veorq_s64(v, vdupq_n_s64(INT64_MIN));
+    }
+    return v;
+  }
+  static unsigned ToMask(uint64x2_t cmp) {
+    return static_cast<unsigned>((vgetq_lane_u64(cmp, 0) & 1) |
+                                 ((vgetq_lane_u64(cmp, 1) & 1) << 1));
+  }
+  static unsigned LtMask(const T* p, KeyVec key) {
+    return ToMask(vcgtq_s64(key, Load(p)));
+  }
+  static unsigned GtMask(const T* p, KeyVec key) {
+    return ToMask(vcgtq_s64(Load(p), key));
+  }
+};
+
+template <class T>
+struct LaneTraits<T, std::enable_if_t<std::is_integral_v<T> &&
+                                      sizeof(T) == 4>> {
+  static constexpr bool kEnabled = true;
+  static constexpr uint16_t kLanes = 4;
+  static constexpr unsigned kFullMask = 0xF;
+  using KeyVec = int32x4_t;
+
+  static KeyVec Broadcast(T key) {
+    int32_t biased = static_cast<int32_t>(key);
+    if constexpr (!std::is_signed_v<T>) biased ^= INT32_MIN;
+    return vdupq_n_s32(biased);
+  }
+  static int32x4_t Load(const T* p) {
+    int32x4_t v = vreinterpretq_s32_u8(
+        vld1q_u8(reinterpret_cast<const uint8_t*>(p)));
+    if constexpr (!std::is_signed_v<T>) {
+      v = veorq_s32(v, vdupq_n_s32(INT32_MIN));
+    }
+    return v;
+  }
+  static unsigned ToMask(uint32x4_t cmp) {
+    // One bit per 32-bit lane: narrow each lane to its low bit.
+    const uint32x4_t bits = vandq_u32(cmp, {1, 2, 4, 8});
+    return static_cast<unsigned>(vaddvq_u32(bits));
+  }
+  static unsigned LtMask(const T* p, KeyVec key) {
+    return ToMask(vcgtq_s32(key, Load(p)));
+  }
+  static unsigned GtMask(const T* p, KeyVec key) {
+    return ToMask(vcgtq_s32(Load(p), key));
+  }
+};
+
+#endif  // backend
+
+// --- Dispatched sorted-array search ---
+//
+// Layout: a branchy binary prefix narrows ranges wider than kLinearWindow
+// (large nodes — fig11 sweeps to 16 KB), then the remaining window is
+// scanned in vector blocks with an early exit on the first qualifying
+// lane. Trailing keys that do not fill a block are probed scalar, so no
+// read ever touches index >= n.
+
+template <class T>
+inline uint16_t LowerBound(const T* keys, uint16_t n, const T& key) {
+  if constexpr (!LaneTraits<T>::kEnabled) {
+    return ScalarLowerBound(keys, n, key);
+  } else {
+    using LT = LaneTraits<T>;
+    unsigned lo = 0, hi = n;
+    while (hi - lo > kLinearWindow) {
+      const unsigned mid = (lo + hi) / 2;
+      if (keys[mid] < key) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    const typename LT::KeyVec probe = LT::Broadcast(key);
+    unsigned i = lo;
+    for (; i + LT::kLanes <= hi; i += LT::kLanes) {
+      const unsigned ge = ~LT::LtMask(keys + i, probe) & LT::kFullMask;
+      if (ge != 0) {
+        return static_cast<uint16_t>(i + std::countr_zero(ge));
+      }
+    }
+    for (; i < hi; ++i) {
+      if (!(keys[i] < key)) break;
+    }
+    return static_cast<uint16_t>(i);
+  }
+}
+
+template <class T>
+inline uint16_t UpperBound(const T* keys, uint16_t n, const T& key) {
+  if constexpr (!LaneTraits<T>::kEnabled) {
+    return ScalarUpperBound(keys, n, key);
+  } else {
+    using LT = LaneTraits<T>;
+    unsigned lo = 0, hi = n;
+    while (hi - lo > kLinearWindow) {
+      const unsigned mid = (lo + hi) / 2;
+      if (!(key < keys[mid])) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    const typename LT::KeyVec probe = LT::Broadcast(key);
+    unsigned i = lo;
+    for (; i + LT::kLanes <= hi; i += LT::kLanes) {
+      const unsigned gt = LT::GtMask(keys + i, probe);
+      if (gt != 0) {
+        return static_cast<uint16_t>(i + std::countr_zero(gt));
+      }
+    }
+    for (; i < hi; ++i) {
+      if (key < keys[i]) break;
+    }
+    return static_cast<uint16_t>(i);
+  }
+}
+
+// --- Byte-equality probes (ART FindChild) ---
+
+// First index i < count with keys16[i] == byte, else -1. `keys16` must
+// point at a full 16-byte array (always true for Node16::keys); `count` is
+// clamped to 16 so torn counts stay in bounds.
+inline int FindByte16(const uint8_t* keys16, uint16_t count, uint8_t byte) {
+  if (count > 16) count = 16;
+#if defined(OPTIQL_SIMD_AVX2) || defined(OPTIQL_SIMD_SSE2)
+  const __m128i data =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(keys16));
+  const __m128i probe = _mm_set1_epi8(static_cast<char>(byte));
+  unsigned mask =
+      static_cast<unsigned>(_mm_movemask_epi8(_mm_cmpeq_epi8(data, probe)));
+  mask &= (1u << count) - 1;  // count <= 16, so the shift is defined.
+  return mask != 0 ? std::countr_zero(mask) : -1;
+#elif defined(OPTIQL_SIMD_NEON)
+  const uint8x16_t data = vld1q_u8(keys16);
+  const uint8x16_t cmp = vceqq_u8(data, vdupq_n_u8(byte));
+  // Narrow each byte lane to 4 bits: a 64-bit mask, 4 bits per lane.
+  const uint64_t mask64 =
+      vget_lane_u64(vreinterpret_u64_u8(vshrn_n_u16(
+                        vreinterpretq_u16_u8(cmp), 4)),
+                    0) &
+      (count == 16 ? ~uint64_t{0} : (uint64_t{1} << (4 * count)) - 1);
+  return mask64 != 0 ? std::countr_zero(mask64) / 4 : -1;
+#else
+  return ScalarFindByte(keys16, count, byte);
+#endif
+}
+
+// First index i < count with keys4[i] == byte, else -1. `keys4` must point
+// at a full 4-byte array (always true for Node4::keys). SWAR over one
+// 32-bit word; falls back to the scalar loop on big-endian targets.
+inline int FindByte4(const uint8_t* keys4, uint16_t count, uint8_t byte) {
+  if (count > 4) count = 4;
+#if !defined(OPTIQL_FORCE_SCALAR)
+  if constexpr (std::endian::native == std::endian::little) {
+    uint32_t word;
+    std::memcpy(&word, keys4, 4);
+    const uint32_t diff = word ^ (0x01010101u * byte);
+    // Classic haszero: high bit of each byte set iff that byte is 0.
+    uint32_t match = (diff - 0x01010101u) & ~diff & 0x80808080u;
+    if (count < 4) match &= (uint32_t{1} << (8 * count)) - 1;
+    return match != 0 ? std::countr_zero(match) / 8 : -1;
+  }
+#endif
+  return ScalarFindByte(keys4, count, byte);
+}
+
+}  // namespace simd
+}  // namespace optiql
+
+#endif  // OPTIQL_COMMON_SIMD_H_

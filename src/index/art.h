@@ -253,6 +253,10 @@ class ArtTree {
         return true;
       }
       void* child = Nodes::FindChild(node, static_cast<uint8_t>(key[level]));
+      // Overlap the child's cache miss with the validation; the slot may
+      // be torn, but prefetch cannot fault and the pointer is only chased
+      // after ValidateNode succeeds.
+      Nodes::PrefetchChild(child);
       if (!ValidateNode(node, v)) return false;
       if (child == nullptr) {
         *ok = false;
@@ -337,6 +341,7 @@ class ArtTree {
       }
       const uint8_t byte = static_cast<uint8_t>(key[level]);
       void* child = Nodes::FindChild(node, byte);
+      Nodes::PrefetchChild(child);  // Same unvalidated-prefetch as Lookup.
       if (!ValidateNode(node, v)) return false;
 
       if (child == nullptr) {
@@ -455,6 +460,7 @@ class ArtTree {
       }
 
       void* child = Nodes::FindChild(node, byte);
+      Nodes::PrefetchChild(child);  // Same unvalidated-prefetch as Lookup.
       if (!ValidateNode(node, v)) return false;
       if (child == nullptr) {
         *ok = false;
@@ -574,6 +580,7 @@ class ArtTree {
       level += prefix_len;
       const uint8_t byte = static_cast<uint8_t>(key[level]);
       void* child = Nodes::FindChild(node, byte);
+      Nodes::PrefetchChild(child);  // Same unvalidated-prefetch as Lookup.
       if (!ValidateNode(node, v)) return false;
       if (child == nullptr) {
         *ok = false;

@@ -87,6 +87,8 @@ class ArtCouplingTree {
       }
       const uint8_t byte = static_cast<uint8_t>(key[level]);
       void* child = Nodes::FindChild(node, byte);
+      // Warm the child (header + lock word) before coupling onto it.
+      Nodes::PrefetchChild(child);
 
       if (child == nullptr) {
         if (Nodes::IsNodeFull(node)) {
@@ -163,6 +165,7 @@ class ArtCouplingTree {
       level += node->prefix_len;
       const uint8_t byte = static_cast<uint8_t>(key[level]);
       void* child = Nodes::FindChild(node, byte);
+      Nodes::PrefetchChild(child);
       if (child == nullptr) {
         POps::ReleaseEx(node->lock, slot);
         return false;
@@ -199,6 +202,7 @@ class ArtCouplingTree {
       level += node->prefix_len;
       const uint8_t byte = static_cast<uint8_t>(key[level]);
       void* child = Nodes::FindChild(node, byte);
+      Nodes::PrefetchChild(child);
       if (child == nullptr) {
         POps::ReleaseSh(const_cast<Node*>(node)->lock, slot);
         return false;
@@ -235,6 +239,7 @@ class ArtCouplingTree {
       level += node->prefix_len;
       const uint8_t byte = static_cast<uint8_t>(key[level]);
       void* child = Nodes::FindChild(node, byte);
+      Nodes::PrefetchChild(child);
       if (child == nullptr) {
         POps::ReleaseEx(node->lock, slot);
         return false;

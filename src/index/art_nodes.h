@@ -17,6 +17,7 @@
 
 #include "common/check.h"
 #include "common/platform.h"
+#include "common/simd.h"
 #include "sync/epoch.h"
 
 namespace optiql {
@@ -45,22 +46,36 @@ struct ArtNodes {
     std::atomic<bool> obsolete{false};
   };
 
-  struct Node4 : Node {
+  // Concrete node types are cacheline-aligned: the header + lock land in
+  // line 0 (one descent prefetch covers both) and the key/child arrays
+  // start at predictable lines. The key arrays are always materialized at
+  // full fixed size, which is what lets FindChild probe them with full
+  // 16-byte / 4-byte vector loads regardless of the (possibly torn) count.
+  struct alignas(kCachelineSize) Node4 : Node {
     uint8_t keys[4];
     void* children[4];
   };
-  struct Node16 : Node {
+  struct alignas(kCachelineSize) Node16 : Node {
     uint8_t keys[16];
     void* children[16];
   };
-  struct Node48 : Node {
+  struct alignas(kCachelineSize) Node48 : Node {
     static constexpr uint8_t kEmpty = 0xFF;
     uint8_t child_index[256];
     void* children[48];
   };
-  struct Node256 : Node {
+  struct alignas(kCachelineSize) Node256 : Node {
     void* children[256];
   };
+
+  static_assert(alignof(Node4) == kCachelineSize &&
+                    alignof(Node16) == kCachelineSize &&
+                    alignof(Node48) == kCachelineSize &&
+                    alignof(Node256) == kCachelineSize,
+                "ART nodes must be cacheline-aligned");
+  static_assert(sizeof(Node16::keys) == 16 && sizeof(Node4::keys) == 4,
+                "key arrays must be full-size (vector probes load them "
+                "whole and mask by count)");
 
   // --- Tagged pointers ---
 
@@ -155,20 +170,18 @@ struct ArtNodes {
   static void* FindChild(const Node* node, uint8_t byte) {
     switch (node->type) {
       case NodeType::kNode4: {
+        // SWAR probe of the full 4-byte key word; the (possibly torn)
+        // count only masks lanes, so racy reads stay in bounds.
         const auto* n = static_cast<const Node4*>(node);
-        const uint16_t count = n->count <= 4 ? n->count : 4;
-        for (uint16_t i = 0; i < count; ++i) {
-          if (n->keys[i] == byte) return n->children[i];
-        }
-        return nullptr;
+        const int idx = simd::FindByte4(n->keys, n->count, byte);
+        return idx >= 0 ? n->children[idx] : nullptr;
       }
       case NodeType::kNode16: {
+        // The original ART design point: one 16-byte compare + movemask
+        // instead of a scalar scan.
         const auto* n = static_cast<const Node16*>(node);
-        const uint16_t count = n->count <= 16 ? n->count : 16;
-        for (uint16_t i = 0; i < count; ++i) {
-          if (n->keys[i] == byte) return n->children[i];
-        }
-        return nullptr;
+        const int idx = simd::FindByte16(n->keys, n->count, byte);
+        return idx >= 0 ? n->children[idx] : nullptr;
       }
       case NodeType::kNode48: {
         const auto* n = static_cast<const Node48*>(node);
@@ -181,6 +194,17 @@ struct ArtNodes {
       }
     }
     return nullptr;
+  }
+
+  // Warms the header line of a child slot returned by FindChild. The
+  // pointer may be tagged (leaf record) or torn (optimistic read before
+  // validation); prefetch never faults, so both are safe. Callers issue
+  // this before validating the parent so the child's cache miss overlaps
+  // the validation.
+  static void PrefetchChild(const void* tagged_child) {
+    if (tagged_child == nullptr) return;
+    PrefetchRead(reinterpret_cast<const void*>(
+        reinterpret_cast<uintptr_t>(tagged_child) & ~uintptr_t{1}));
   }
 
   static bool IsNodeFull(const Node* node) {

@@ -47,6 +47,7 @@
 
 #include "common/check.h"
 #include "common/platform.h"
+#include "common/simd.h"
 #include "core/optiql.h"
 #include "locks/mcs_rw_lock.h"
 #include "locks/optlock.h"
@@ -308,7 +309,10 @@ class BTree {
 
   struct Inner;
 
-  struct Leaf : NodeBase {
+  // Nodes are cacheline-aligned so the kNodeBytes budget maps to whole
+  // lines: the header + lock always share line 0 (one prefetch covers
+  // them) and key arrays start at a predictable line.
+  struct alignas(kCachelineSize) Leaf : NodeBase {
     LeafLock lock;
     Leaf* next = nullptr;  // Right sibling (for scans).
 
@@ -327,22 +331,15 @@ class BTree {
       this->count = 0;
     }
 
-    // First position with keys[pos] >= key.
+    // First position with keys[pos] >= key. `n` must already be clamped
+    // (LoadCount) so the kernel never reads outside the array even when
+    // the count was torn by a concurrent writer.
     uint16_t LowerBound(const Key& key, uint16_t n) const {
-      uint16_t lo = 0, hi = n;
-      while (lo < hi) {
-        const uint16_t mid = static_cast<uint16_t>((lo + hi) / 2);
-        if (keys[mid] < key) {
-          lo = static_cast<uint16_t>(mid + 1);
-        } else {
-          hi = mid;
-        }
-      }
-      return lo;
+      return simd::LowerBound(keys, n, key);
     }
   };
 
-  struct Inner : NodeBase {
+  struct alignas(kCachelineSize) Inner : NodeBase {
     InnerLock lock;
 
     static constexpr size_t kHeader = sizeof(NodeBase) + sizeof(InnerLock);
@@ -364,18 +361,10 @@ class BTree {
       this->count = 0;
     }
 
-    // Child index to follow for `key`: first separator > key.
+    // Child index to follow for `key`: first separator > key. `n` must be
+    // clamped by the caller (same torn-count contract as Leaf::LowerBound).
     uint16_t ChildIndex(const Key& key, uint16_t n) const {
-      uint16_t lo = 0, hi = n;
-      while (lo < hi) {
-        const uint16_t mid = static_cast<uint16_t>((lo + hi) / 2);
-        if (keys[mid] <= key) {
-          lo = static_cast<uint16_t>(mid + 1);
-        } else {
-          hi = mid;
-        }
-      }
-      return lo;
+      return simd::UpperBound(keys, n, key);
     }
 
     void InsertAt(uint16_t pos, const Key& separator, NodeBase* right) {
@@ -393,6 +382,37 @@ class BTree {
   static constexpr uint16_t kInnerMax = static_cast<uint16_t>(Inner::kMax);
   static_assert(Leaf::kMax >= 2 && Inner::kMax >= 3,
                 "node geometry too small to split safely");
+
+  // Layout assumptions the search/prefetch kernels rely on: the packed
+  // header (level + count) is exactly 4 bytes, nodes start on a cacheline
+  // (so the header + lock share line 0 and kNodeBytes-sized nodes do not
+  // straddle an extra line), and the real node size stays within the
+  // nominal budget rounded to whole lines — with at most one line of
+  // slack for header padding (reachable only for exotic Key/Value sizes
+  // or floor-clamped tiny geometries).
+  static constexpr size_t kAlignedNodeBudget =
+      ((kNodeBytes + kCachelineSize - 1) / kCachelineSize) * kCachelineSize;
+  static_assert(sizeof(NodeBase) == 4, "packed node header grew");
+  static_assert(alignof(Leaf) == kCachelineSize &&
+                    alignof(Inner) == kCachelineSize,
+                "nodes must be cacheline-aligned");
+  static_assert(sizeof(Leaf) % kCachelineSize == 0 &&
+                    sizeof(Inner) % kCachelineSize == 0,
+                "node sizes must be whole cachelines");
+  static_assert(sizeof(Leaf) <= kAlignedNodeBudget + kCachelineSize,
+                "leaf layout exceeds the node-size budget");
+  static_assert(sizeof(Inner) <= kAlignedNodeBudget + kCachelineSize,
+                "inner layout exceeds the node-size budget");
+
+  // Warm the lines a descent touches next: line 0 (header + lock + the
+  // leading keys) and, for multi-line nodes, the next line of keys. Safe
+  // on unvalidated child pointers — prefetch never faults.
+  static void PrefetchNodeHeader(const NodeBase* node) {
+    PrefetchRead(node);
+    if constexpr (kNodeBytes > kCachelineSize) {
+      PrefetchRead(reinterpret_cast<const char*>(node) + kCachelineSize);
+    }
+  }
 
   // Underflow thresholds for delete-time rebalancing (quarter-full, the
   // usual lazy bound): a remove descending past a node at or below its
@@ -465,6 +485,10 @@ class BTree {
         const Inner* inner = AsInner(node);
         const uint16_t n = LoadCount(inner, kInnerMax);
         NodeBase* child = inner->children[inner->ChildIndex(key, n)];
+        // Overlap the child's cache miss with the parent validation; the
+        // pointer may be torn, but prefetch cannot fault and the value is
+        // only dereferenced after the validation below succeeds.
+        PrefetchNodeHeader(child);
         if (!Validate(inner->lock, v)) {
           restart = true;
           break;
@@ -517,6 +541,7 @@ class BTree {
         const Inner* inner = AsInner(node);
         const uint16_t n = LoadCount(inner, kInnerMax);
         NodeBase* child = inner->children[inner->ChildIndex(start, n)];
+        PrefetchNodeHeader(child);  // Same unvalidated-prefetch as Lookup.
         if (!Validate(inner->lock, v)) {
           restart = true;
           break;
@@ -539,6 +564,11 @@ class BTree {
       const Leaf* leaf = AsLeaf(node);
       bool failed = false;
       while (leaf != nullptr && out.size() < limit) {
+        // Read the successor first and start pulling it in while this
+        // leaf's batch is copied; the (possibly torn) pointer is only
+        // chased after the validation below succeeds.
+        const Leaf* next = leaf->next;
+        if (next != nullptr) PrefetchNodeHeader(next);
         const uint16_t n = LoadCount(leaf, kLeafMax);
         std::pair<Key, Value> batch[Leaf::kMax];
         uint16_t batch_size = 0;
@@ -546,7 +576,6 @@ class BTree {
              i < n; ++i) {
           batch[batch_size++] = {leaf->keys[i], leaf->values[i]};
         }
-        const Leaf* next = leaf->next;
         if (!Validate(leaf->lock, v)) {
           failed = true;
           break;
@@ -595,6 +624,7 @@ class BTree {
         Inner* inner = AsInner(node);
         NodeBase* child =
             inner->children[inner->ChildIndex(key, inner->count)];
+        PrefetchNodeHeader(child);  // Warm the child's lock word.
         const int child_slot = 1 - slot;
         LockOf(child, /*shared=*/true, child_slot);
         UnlockOf(node, /*shared=*/true, slot);
@@ -624,6 +654,7 @@ class BTree {
         Inner* inner = AsInner(node);
         NodeBase* child =
             inner->children[inner->ChildIndex(start, inner->count)];
+        PrefetchNodeHeader(child);  // Warm the child's lock word.
         const int child_slot = 1 - slot;
         LockOf(child, /*shared=*/true, child_slot);
         UnlockOf(node, /*shared=*/true, slot);
@@ -638,6 +669,7 @@ class BTree {
         }
         Leaf* next = leaf->next;
         if (next == nullptr || out.size() >= limit) break;
+        PrefetchNodeHeader(next);
         const int next_slot = 1 - slot;
         POps::AcquireSh(next->lock, next_slot);
         POps::ReleaseSh(leaf->lock, slot);
@@ -741,6 +773,7 @@ class BTree {
         }
         const uint16_t n = LoadCount(inner, kInnerMax);
         NodeBase* child = inner->children[inner->ChildIndex(key, n)];
+        PrefetchNodeHeader(child);  // Same unvalidated-prefetch as Lookup.
         if (!Validate(inner->lock, v)) {
           restart = true;
           break;
@@ -1449,6 +1482,7 @@ class BTree {
         Inner* inner = AsInner(node);
         uint16_t idx = inner->ChildIndex(key, inner->count);
         NodeBase* child = inner->children[idx];
+        PrefetchNodeHeader(child);  // Warm the child's lock word.
         const int child_slot = 1 - slot;
         LockOf(child, /*shared=*/false, child_slot);
         if (NeedsSplitForWrite(kind) && IsFull(child)) {

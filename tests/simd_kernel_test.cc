@@ -1,0 +1,253 @@
+// Differential tests for the SIMD search kernels (src/common/simd.h):
+// randomized equivalence against std::lower_bound/std::upper_bound and the
+// scalar reference kernels for every count 0..kMaxCount, with duplicate
+// keys and boundary probes; exhaustive FindByte16/FindByte4 sweeps; and a
+// concurrent torn-read smoke test that hammers the kernels through the
+// optimistic index protocols while writers churn the node arrays.
+//
+// Buffers are exact-size heap allocations so ASan turns any read past the
+// clamped count — the one thing the kernels promise never to do — into a
+// hard failure. The SimdKernelTorn* suite races by design (seqlock-style
+// optimistic reads) and is excluded under TSan, like the other optimistic
+// protocol tests.
+#include "common/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <random>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "index/art.h"
+#include "index/btree.h"
+
+namespace optiql {
+namespace {
+
+constexpr int kMaxCount = 64;  // Covers every leaf/inner fill level that
+                               // fits the vector-block + tail structure.
+
+template <class T>
+T DrawKey(std::mt19937_64& rng, int domain) {
+  // Small domains force duplicate keys; signed types get negatives.
+  const auto raw = static_cast<int64_t>(rng() % domain);
+  if constexpr (std::is_signed_v<T>) {
+    return static_cast<T>(raw - domain / 2);
+  } else {
+    return static_cast<T>(raw);
+  }
+}
+
+template <class T>
+class SimdKernelTest : public ::testing::Test {};
+
+// double has no LaneTraits specialization, so it exercises the generic
+// dispatcher's scalar fallback path for non-SIMD key types.
+using KeyTypes =
+    ::testing::Types<uint64_t, uint32_t, int64_t, int32_t, double>;
+TYPED_TEST_SUITE(SimdKernelTest, KeyTypes);
+
+TYPED_TEST(SimdKernelTest, MatchesStdAndScalarOnEveryCount) {
+  using T = TypeParam;
+  std::mt19937_64 rng(20230517);
+  for (int n = 0; n <= kMaxCount; ++n) {
+    for (int domain : {2, 7, 1000}) {
+      // Exact-size heap buffer: any overread is an ASan error, not slack.
+      auto keys = std::make_unique<T[]>(std::max(n, 1));
+      for (int i = 0; i < n; ++i) keys[i] = DrawKey<T>(rng, domain);
+      std::sort(keys.get(), keys.get() + n);
+
+      std::vector<T> probes = {DrawKey<T>(rng, domain),
+                               std::numeric_limits<T>::lowest(),
+                               std::numeric_limits<T>::max()};
+      for (int i = 0; i < n; ++i) {
+        probes.push_back(keys[i]);  // Exact hits (incl. duplicates).
+        probes.push_back(static_cast<T>(keys[i] + 1));
+        probes.push_back(static_cast<T>(keys[i] - 1));
+      }
+
+      for (const T& probe : probes) {
+        const auto count = static_cast<uint16_t>(n);
+        const auto want_lo = static_cast<uint16_t>(
+            std::lower_bound(keys.get(), keys.get() + n, probe) - keys.get());
+        const auto want_up = static_cast<uint16_t>(
+            std::upper_bound(keys.get(), keys.get() + n, probe) - keys.get());
+        EXPECT_EQ(simd::LowerBound(keys.get(), count, probe), want_lo)
+            << "n=" << n << " probe=" << probe;
+        EXPECT_EQ(simd::UpperBound(keys.get(), count, probe), want_up)
+            << "n=" << n << " probe=" << probe;
+        EXPECT_EQ(simd::ScalarLowerBound(keys.get(), count, probe), want_lo);
+        EXPECT_EQ(simd::ScalarUpperBound(keys.get(), count, probe), want_up);
+      }
+    }
+  }
+}
+
+TEST(SimdKernelByteTest, FindByte16ExhaustiveCountsAndBytes) {
+  std::mt19937_64 rng(16);
+  for (int round = 0; round < 64; ++round) {
+    uint8_t keys[16];  // The contract requires a full 16-byte array.
+    for (auto& k : keys) k = static_cast<uint8_t>(rng() % 32);  // Dups.
+    for (int count = 0; count <= 16; ++count) {
+      for (int b = 0; b < 256; ++b) {
+        const auto byte = static_cast<uint8_t>(b);
+        const int want =
+            simd::ScalarFindByte(keys, static_cast<uint16_t>(count), byte);
+        EXPECT_EQ(simd::FindByte16(keys, static_cast<uint16_t>(count), byte),
+                  want)
+            << "count=" << count << " byte=" << b;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelByteTest, FindByte16ClampsOversizedCount) {
+  uint8_t keys[16];
+  for (int i = 0; i < 16; ++i) keys[i] = static_cast<uint8_t>(i);
+  // A torn count can exceed the physical fanout; the probe must clamp.
+  EXPECT_EQ(simd::FindByte16(keys, 1000, 7), 7);
+  EXPECT_EQ(simd::FindByte16(keys, 1000, 200), -1);
+}
+
+TEST(SimdKernelByteTest, FindByte4ExhaustiveCountsAndBytes) {
+  std::mt19937_64 rng(4);
+  for (int round = 0; round < 256; ++round) {
+    uint8_t keys[4];
+    for (auto& k : keys) k = static_cast<uint8_t>(rng() % 6);
+    for (int count = 0; count <= 4; ++count) {
+      for (int b = 0; b < 256; ++b) {
+        const auto byte = static_cast<uint8_t>(b);
+        const int want =
+            simd::ScalarFindByte(keys, static_cast<uint16_t>(count), byte);
+        EXPECT_EQ(simd::FindByte4(keys, static_cast<uint16_t>(count), byte),
+                  want)
+            << "count=" << count << " byte=" << b;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelByteTest, FindByte4ClampsOversizedCount) {
+  const uint8_t keys[4] = {9, 8, 7, 9};
+  EXPECT_EQ(simd::FindByte4(keys, 77, 9), 0);  // First match wins.
+  EXPECT_EQ(simd::FindByte4(keys, 77, 3), -1);
+}
+
+TEST(SimdKernelByteTest, BackendSelectionIsCoherent) {
+  ASSERT_NE(simd::kBackendName, nullptr);
+#if defined(OPTIQL_FORCE_SCALAR)
+  EXPECT_STREQ(simd::kBackendName, "scalar(forced)");
+#else
+  EXPECT_STRNE(simd::kBackendName, "scalar(forced)");
+#endif
+}
+
+// --- Concurrent torn-read smoke ---
+//
+// The kernels run inside optimistic reads: writers rewrite key arrays and
+// counts under the readers' feet, and only version validation decides
+// whether a result is kept. These tests assert the memory-safety half of
+// the contract (no fault, no overread — ASan-checked) and end-to-end
+// correctness of retained results. Racy by design; excluded under TSan.
+
+TEST(SimdKernelTornTest, BTreeOptimisticLookupAndScanUnderChurn) {
+  using Tree = BTree<uint64_t, uint64_t, BTreeOptiQlPolicy<OptiQL>, 512>;
+  Tree tree;
+  constexpr uint64_t kSpace = 8192;
+  for (uint64_t k = 0; k < kSpace; k += 2) tree.Insert(k, k + 1);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> found{0};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 2; ++w) {
+    threads.emplace_back([&tree, &stop, w] {
+      std::mt19937_64 rng(w);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const uint64_t k = rng() % kSpace;
+        if (rng() % 2 == 0) {
+          tree.Insert(k, k + 1);
+        } else {
+          tree.Remove(k);
+        }
+      }
+    });
+  }
+  for (int r = 0; r < 2; ++r) {
+    threads.emplace_back([&tree, &stop, &found, r] {
+      std::mt19937_64 rng(100 + r);
+      std::vector<std::pair<uint64_t, uint64_t>> out;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const uint64_t k = rng() % kSpace;
+        uint64_t value = 0;
+        if (tree.Lookup(k, value)) {
+          ASSERT_EQ(value, k + 1);  // Validated reads are never torn.
+          found.fetch_add(1, std::memory_order_relaxed);
+        }
+        const size_t n = tree.Scan(k, 16, out);
+        uint64_t prev = 0;
+        for (size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(out[i].second, out[i].first + 1);
+          if (i > 0) {
+            ASSERT_GT(out[i].first, prev);
+          }
+          prev = out[i].first;
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : threads) t.join();
+  EXPECT_GT(found.load(), 0u);
+  tree.CheckInvariants();
+}
+
+TEST(SimdKernelTornTest, ArtOptimisticFindChildUnderChurn) {
+  ArtTree<ArtOptiQlPolicy<OptiQL>> tree;
+  constexpr uint64_t kSpace = 4096;
+  for (uint64_t k = 0; k < kSpace; k += 2) tree.InsertInt(k, k + 1);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> found{0};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 2; ++w) {
+    threads.emplace_back([&tree, &stop, w] {
+      std::mt19937_64 rng(w);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const uint64_t k = rng() % kSpace;
+        if (rng() % 2 == 0) {
+          tree.InsertInt(k, k + 1);
+        } else {
+          tree.RemoveInt(k);
+        }
+      }
+    });
+  }
+  for (int r = 0; r < 2; ++r) {
+    threads.emplace_back([&tree, &stop, &found, r] {
+      std::mt19937_64 rng(100 + r);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const uint64_t k = rng() % kSpace;
+        uint64_t value = 0;
+        if (tree.LookupInt(k, value)) {
+          ASSERT_EQ(value, k + 1);
+          found.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : threads) t.join();
+  EXPECT_GT(found.load(), 0u);
+}
+
+}  // namespace
+}  // namespace optiql
