@@ -16,6 +16,37 @@
     }                                                                   \
   } while (0)
 
+// Opt-in lock-word state-machine checking (-DOPTIQL_CHECK_INVARIANTS=ON).
+//
+// The optimistic protocols are structurally invisible to ASan/TSan: their
+// reads race by design and their bugs (spurious upgrade, double release,
+// version regression, freed queue node in a live queue) corrupt the lock
+// *word*, not the heap. The checked build asserts the word/qnode state
+// machine at every transition instead. Costs an extra relaxed load or two
+// per transition; compiled out entirely in release builds.
+//
+// The message prefix is stable ("OPTIQL_INVARIANT") so death tests can
+// match on it.
+#if defined(OPTIQL_CHECK_INVARIANTS) && OPTIQL_CHECK_INVARIANTS
+#define OPTIQL_INVARIANT(cond, msg)                                        \
+  do {                                                                     \
+    if (OPTIQL_UNLIKELY(!(cond))) {                                        \
+      std::fprintf(stderr, "OPTIQL_INVARIANT failed at %s:%d: %s — %s\n",  \
+                   __FILE__, __LINE__, #cond, msg);                        \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+#else
+// The condition still has to compile (and is discarded), so checked-build
+// expressions cannot rot and locals used only in invariants stay "used".
+#define OPTIQL_INVARIANT(cond, msg) \
+  do {                              \
+    if (false) {                    \
+      (void)(cond);                 \
+    }                               \
+  } while (0)
+#endif
+
 #include "common/platform.h"
 
 #endif  // OPTIQL_COMMON_CHECK_H_

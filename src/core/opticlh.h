@@ -24,6 +24,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "common/check.h"
 #include "common/platform.h"
 #include "qnode/qnode_pool.h"
 
@@ -61,6 +62,9 @@ class OptiCLH {
   // ReleaseEx. The handle's `aux` carries the version to publish.
   QNode* AcquireEx() {
     QNode* node = ThreadQNodeStack::Pop();
+    node->DbgTransition(QNode::kDbgIdle, QNode::kDbgQueued,
+                        "OptiCLH AcquireEx got a node that is already "
+                        "enqueued (thread-local stack corruption?)");
     node->version.store(kSpinFlag, std::memory_order_relaxed);
     const uint64_t self =
         kLockedBit | (static_cast<uint64_t>(Pool().ToId(node)) << kIdShift);
@@ -87,6 +91,15 @@ class OptiCLH {
   }
 
   void ReleaseEx(QNode* node) {
+    OPTIQL_INVARIANT(
+        (word_.load(std::memory_order_relaxed) & kLockedBit) != 0,
+        "OptiCLH ReleaseEx but the word is not LOCKED (double release?)");
+    // Ownership of `node` may pass to the spinning successor below; the
+    // transition must precede the abandon store (the successor adopts an
+    // Idle node), and it doubles as the double-release check.
+    node->DbgTransition(QNode::kDbgQueued, QNode::kDbgIdle,
+                        "OptiCLH ReleaseEx with a node that is not enqueued "
+                        "(double release?)");
     const uint64_t self =
         kLockedBit | (static_cast<uint64_t>(Pool().ToId(node)) << kIdShift);
     const uint64_t my_version = node->aux.load(std::memory_order_relaxed);
@@ -115,6 +128,9 @@ class OptiCLH {
         kLockedBit | (static_cast<uint64_t>(Pool().ToId(node)) << kIdShift);
     if (word_.compare_exchange_strong(v, self, std::memory_order_acq_rel,
                                       std::memory_order_relaxed)) {
+      node->DbgTransition(QNode::kDbgIdle, QNode::kDbgQueued,
+                          "OptiCLH TryUpgrade got a node that is already "
+                          "enqueued (thread-local stack corruption?)");
       return node;
     }
     ThreadQNodeStack::Push(node);

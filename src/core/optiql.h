@@ -39,6 +39,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "common/check.h"
 #include "common/platform.h"
 #include "qnode/qnode_pool.h"
 
@@ -96,6 +97,9 @@ class BasicOptiQL {
   // readers keep sneaking in. The caller MUST call FinishAcquireEx(qnode)
   // before modifying the protected data.
   void AcquireExDeferred(QNode* qnode) {
+    qnode->DbgTransition(QNode::kDbgIdle, QNode::kDbgQueued,
+                         "OptiQL AcquireEx with a node that is already "
+                         "enqueued or not owned by this thread");
     qnode->next.store(nullptr, std::memory_order_relaxed);
     qnode->version.store(QNode::kInvalidVersion, std::memory_order_relaxed);
     qnode->aux.store(0, std::memory_order_relaxed);
@@ -125,6 +129,13 @@ class BasicOptiQL {
   // predecessor (Algorithm 3 line 11). No-op for OptiQL-NOR and for
   // acquisitions that found the lock free.
   void FinishAcquireEx(QNode* qnode) {
+    OPTIQL_INVARIANT(
+        (word_.load(std::memory_order_relaxed) & kLockedBit) != 0,
+        "OptiQL FinishAcquireEx but the word is not LOCKED "
+        "(acquisition never happened, or already released)");
+    OPTIQL_INVARIANT(qnode->version.load(std::memory_order_relaxed) !=
+                         QNode::kInvalidVersion,
+                     "OptiQL FinishAcquireEx before the grant completed");
     if constexpr (kEnableOpRead) {
       if (qnode->aux.load(std::memory_order_relaxed) == kGrantedByHandover) {
         word_.fetch_and(~(kOpReadBit | kVersionMask),
@@ -136,10 +147,22 @@ class BasicOptiQL {
   }
 
   void ReleaseEx(QNode* qnode) {
+    // MCS-style handover keeps the word LOCKED continuously from the first
+    // acquisition to the final release, so an unlocked word here means the
+    // caller does not hold the lock at all.
+    OPTIQL_INVARIANT(
+        (word_.load(std::memory_order_relaxed) & kLockedBit) != 0,
+        "OptiQL ReleaseEx but the word is not LOCKED (double release?)");
+    qnode->DbgTransition(QNode::kDbgQueued, QNode::kDbgIdle,
+                         "OptiQL ReleaseEx with a node that is not enqueued "
+                         "(double release, or released via the pool while "
+                         "still holding the lock?)");
     const uint64_t self =
         kLockedBit | (static_cast<uint64_t>(Pool().ToId(qnode)) << kIdShift);
     const uint64_t my_version =
         qnode->version.load(std::memory_order_relaxed);
+    OPTIQL_INVARIANT(my_version != QNode::kInvalidVersion,
+                     "OptiQL ReleaseEx before the grant completed");
     if (qnode->next.load(std::memory_order_acquire) == nullptr) {
       // Word still records us as the latest requester => no successor.
       // Publish the new version and leave. (The version comes from our
@@ -172,6 +195,10 @@ class BasicOptiQL {
   // writers still drain normally (index protocols re-validate the parent
   // after acquiring a leaf directly, so they observe the unlink and abort).
   void ReleaseExObsolete(QNode* qnode) {
+    OPTIQL_INVARIANT(
+        (word_.load(std::memory_order_relaxed) & kLockedBit) != 0,
+        "OptiQL ReleaseExObsolete but the word is not LOCKED: the obsolete "
+        "marker may only be planted while holding the lock");
     qnode->version.store(
         qnode->version.load(std::memory_order_relaxed) | kObsoleteBit,
         std::memory_order_relaxed);
@@ -190,8 +217,14 @@ class BasicOptiQL {
     qnode->version.store(NextVersion(v), std::memory_order_relaxed);
     const uint64_t self =
         kLockedBit | (static_cast<uint64_t>(Pool().ToId(qnode)) << kIdShift);
-    return word_.compare_exchange_strong(v, self, std::memory_order_acq_rel,
-                                         std::memory_order_relaxed);
+    const bool upgraded = word_.compare_exchange_strong(
+        v, self, std::memory_order_acq_rel, std::memory_order_relaxed);
+    if (upgraded) {
+      qnode->DbgTransition(QNode::kDbgIdle, QNode::kDbgQueued,
+                           "OptiQL TryUpgrade with a node that is already "
+                           "enqueued or not owned by this thread");
+    }
+    return upgraded;
   }
 
   // Non-blocking exclusive acquire from the free state.

@@ -45,6 +45,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/check.h"
 #include "common/platform.h"
 #include "common/simd.h"
@@ -214,6 +215,8 @@ class BTree {
     }
     NodeBase* old_root = root_.load(std::memory_order_acquire);
     root_.store(level_nodes[0], std::memory_order_release);
+    // LINT-ALLOW(raw-delete): BulkLoad is documented single-threaded; the
+    // replaced initial tree was never visible to a concurrent reader.
     live_nodes_.fetch_sub(static_cast<int64_t>(FreeSubtree(old_root)),
                           std::memory_order_relaxed);  // The initial leaf.
   }
@@ -608,10 +611,18 @@ class BTree {
   }
 
   // --- Pessimistic (coupling) traversal ---
+  //
+  // Hand-over-hand coupling is outside what Clang's thread-safety analysis
+  // can express: the set of held locks is data-dependent (each iteration
+  // acquires child then releases parent), so every coupling function below
+  // opts out with OPTIQL_NO_THREAD_SAFETY_ANALYSIS. These paths are covered
+  // by the optimistic-protocol linter's pairing rule and the invariant
+  // build instead.
 
   using POps = internal::PessimisticOps<InnerLock>;
 
-  bool LookupCoupling(const Key& key, Value& out) const {
+  bool LookupCoupling(const Key& key,
+                      Value& out) const OPTIQL_NO_THREAD_SAFETY_ANALYSIS {
     while (true) {
       NodeBase* node = root_.load(std::memory_order_acquire);
       int slot = 0;
@@ -641,7 +652,8 @@ class BTree {
   }
 
   size_t ScanCoupling(const Key& start, size_t limit,
-                      std::vector<std::pair<Key, Value>>& out) const {
+                      std::vector<std::pair<Key, Value>>& out) const
+      OPTIQL_NO_THREAD_SAFETY_ANALYSIS {
     while (true) {
       NodeBase* node = root_.load(std::memory_order_acquire);
       int slot = 0;
@@ -681,7 +693,8 @@ class BTree {
     }
   }
 
-  void LockOf(NodeBase* node, bool shared, int slot) const {
+  void LockOf(NodeBase* node, bool shared,
+              int slot) const OPTIQL_NO_THREAD_SAFETY_ANALYSIS {
     if (IsLeaf(node)) {
       if (shared) {
         POps::AcquireSh(AsLeaf(node)->lock, slot);
@@ -697,7 +710,8 @@ class BTree {
     }
   }
 
-  void UnlockOf(NodeBase* node, bool shared, int slot) const {
+  void UnlockOf(NodeBase* node, bool shared,
+                int slot) const OPTIQL_NO_THREAD_SAFETY_ANALYSIS {
     if (IsLeaf(node)) {
       if (shared) {
         POps::ReleaseSh(AsLeaf(node)->lock, slot);
@@ -1457,7 +1471,8 @@ class BTree {
   // --- Pessimistic write path: exclusive top-down coupling with eager
   // splits (at most two exclusive locks held). ---
 
-  bool WriteCoupling(const Key& key, const Value* value, WriteKind kind) {
+  bool WriteCoupling(const Key& key, const Value* value,
+                     WriteKind kind) OPTIQL_NO_THREAD_SAFETY_ANALYSIS {
     while (true) {
       NodeBase* node = root_.load(std::memory_order_acquire);
       int slot = 0;
@@ -1523,7 +1538,8 @@ class BTree {
   // structure changed — then ALL locks are released and the caller must
   // re-traverse; false leaves parent + child held and unchanged.
   bool RebalanceChildCoupling(Inner* parent, bool at_root, int parent_slot,
-                              NodeBase* child, int child_slot) {
+                              NodeBase* child,
+                              int child_slot) OPTIQL_NO_THREAD_SAFETY_ANALYSIS {
     const uint16_t idx = FindChildIndex(parent, child);
     const bool child_is_left = idx < parent->count;
     const uint16_t left_idx =

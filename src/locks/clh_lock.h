@@ -16,20 +16,25 @@
 #include <atomic>
 #include <cstdint>
 
+#include "common/annotations.h"
+#include "common/check.h"
 #include "common/platform.h"
 #include "qnode/qnode_pool.h"
 
 namespace optiql {
 
-class ClhLock {
+class OPTIQL_CAPABILITY("mutex") ClhLock {
  public:
   ClhLock() = default;
   ClhLock(const ClhLock&) = delete;
   ClhLock& operator=(const ClhLock&) = delete;
 
   // Blocks until the lock is held; returns the acquisition handle.
-  QNode* AcquireEx() {
+  QNode* AcquireEx() OPTIQL_ACQUIRE() {
     QNode* node = ThreadQNodeStack::Pop();
+    node->DbgTransition(QNode::kDbgIdle, QNode::kDbgQueued,
+                        "CLH AcquireEx got a node that is already enqueued "
+                        "(thread-local stack corruption?)");
     node->version.store(kLockedFlag, std::memory_order_relaxed);
     QNode* pred = tail_.exchange(node, std::memory_order_acq_rel);
     if (pred != nullptr) {
@@ -43,7 +48,13 @@ class ClhLock {
     return node;
   }
 
-  void ReleaseEx(QNode* node) {
+  void ReleaseEx(QNode* node) OPTIQL_RELEASE() {
+    // Ownership of `node` may pass to the spinning successor below; the
+    // transition must happen first (the successor adopts an Idle node), and
+    // it doubles as the double-release check.
+    node->DbgTransition(QNode::kDbgQueued, QNode::kDbgIdle,
+                        "CLH ReleaseEx with a node that is not enqueued "
+                        "(double release?)");
     QNode* expected = node;
     if (tail_.compare_exchange_strong(expected, nullptr,
                                       std::memory_order_acq_rel,

@@ -12,12 +12,14 @@
 #include <atomic>
 #include <cstdint>
 
+#include "common/annotations.h"
+#include "common/check.h"
 #include "common/platform.h"
 #include "qnode/qnode_pool.h"
 
 namespace optiql {
 
-class McsLock {
+class OPTIQL_CAPABILITY("mutex") McsLock {
  public:
   McsLock() = default;
   McsLock(const McsLock&) = delete;
@@ -25,7 +27,10 @@ class McsLock {
 
   // Joins the queue with `qnode` and blocks until granted. `qnode` must stay
   // exclusively owned by this thread until ReleaseEx(qnode) returns.
-  void AcquireEx(QNode* qnode) {
+  void AcquireEx(QNode* qnode) OPTIQL_ACQUIRE() {
+    qnode->DbgTransition(QNode::kDbgIdle, QNode::kDbgQueued,
+                         "MCS AcquireEx with a node that is already "
+                         "enqueued or not owned by this thread");
     qnode->next.store(nullptr, std::memory_order_relaxed);
     qnode->version.store(kWaiting, std::memory_order_relaxed);
     QNode* pred = tail_.exchange(qnode, std::memory_order_acq_rel);
@@ -37,16 +42,25 @@ class McsLock {
     }
   }
 
-  bool TryAcquireEx(QNode* qnode) {
+  bool TryAcquireEx(QNode* qnode) OPTIQL_TRY_ACQUIRE(true) {
     qnode->next.store(nullptr, std::memory_order_relaxed);
     qnode->version.store(kWaiting, std::memory_order_relaxed);
     QNode* expected = nullptr;
-    return tail_.compare_exchange_strong(expected, qnode,
-                                         std::memory_order_acq_rel,
-                                         std::memory_order_relaxed);
+    const bool acquired = tail_.compare_exchange_strong(
+        expected, qnode, std::memory_order_acq_rel,
+        std::memory_order_relaxed);
+    if (acquired) {
+      qnode->DbgTransition(QNode::kDbgIdle, QNode::kDbgQueued,
+                           "MCS TryAcquireEx with a node that is already "
+                           "enqueued or not owned by this thread");
+    }
+    return acquired;
   }
 
-  void ReleaseEx(QNode* qnode) {
+  void ReleaseEx(QNode* qnode) OPTIQL_RELEASE() {
+    qnode->DbgTransition(QNode::kDbgQueued, QNode::kDbgIdle,
+                         "MCS ReleaseEx with a node that is not enqueued "
+                         "(double release?)");
     if (qnode->next.load(std::memory_order_acquire) == nullptr) {
       QNode* expected = qnode;
       if (tail_.compare_exchange_strong(expected, nullptr,

@@ -25,18 +25,23 @@
 #include <atomic>
 #include <cstdint>
 
+#include "common/annotations.h"
+#include "common/check.h"
 #include "common/platform.h"
 #include "qnode/qnode_pool.h"
 
 namespace optiql {
 
-class McsRwLock {
+class OPTIQL_CAPABILITY("shared_mutex") McsRwLock {
  public:
   McsRwLock() = default;
   McsRwLock(const McsRwLock&) = delete;
   McsRwLock& operator=(const McsRwLock&) = delete;
 
-  void AcquireEx(QNode* qnode) {
+  void AcquireEx(QNode* qnode) OPTIQL_ACQUIRE() {
+    qnode->DbgTransition(QNode::kDbgIdle, QNode::kDbgQueued,
+                         "MCS-RW AcquireEx with a node that is already "
+                         "enqueued or not owned by this thread");
     qnode->next.store(nullptr, std::memory_order_relaxed);
     qnode->aux.store(kBlockedBit | kClassWriterBit, std::memory_order_relaxed);
     const uint32_t self = Pool().ToId(qnode);
@@ -66,7 +71,10 @@ class McsRwLock {
     SpinUntilGranted(qnode);
   }
 
-  void ReleaseEx(QNode* qnode) {
+  void ReleaseEx(QNode* qnode) OPTIQL_RELEASE() {
+    qnode->DbgTransition(QNode::kDbgQueued, QNode::kDbgIdle,
+                         "MCS-RW ReleaseEx with a node that is not enqueued "
+                         "(double release, or release without acquire?)");
     QNode* next = WaitForSuccessorOrLeave(qnode);
     if (next == nullptr) return;
     if ((next->aux.load(std::memory_order_acquire) & kClassWriterBit) == 0) {
@@ -76,13 +84,20 @@ class McsRwLock {
     Unblock(next);
   }
 
-  void AcquireSh(QNode* qnode) {
+  void AcquireSh(QNode* qnode) OPTIQL_ACQUIRE_SHARED() {
+    qnode->DbgTransition(QNode::kDbgIdle, QNode::kDbgQueued,
+                         "MCS-RW AcquireSh with a node that is already "
+                         "enqueued or not owned by this thread");
     qnode->next.store(nullptr, std::memory_order_relaxed);
     qnode->aux.store(kBlockedBit, std::memory_order_relaxed);
     const uint32_t self = Pool().ToId(qnode);
     const uint32_t pred_id = SwapTail(self);
     if (pred_id == kNullId) {
-      word_.fetch_add(kReaderOne, std::memory_order_acq_rel);
+      const uint64_t old_word =
+          word_.fetch_add(kReaderOne, std::memory_order_acq_rel);
+      OPTIQL_INVARIANT(ReaderCount(old_word) <
+                           (kReaderMask >> kReaderShift),
+                       "MCS-RW reader count overflow");
       qnode->aux.fetch_and(~kBlockedBit, std::memory_order_acq_rel);
     } else {
       QNode* pred = Pool().ToPtr(pred_id);
@@ -122,7 +137,11 @@ class McsRwLock {
     }
   }
 
-  void ReleaseSh(QNode* qnode) {
+  void ReleaseSh(QNode* qnode) OPTIQL_RELEASE_SHARED() {
+    qnode->DbgTransition(QNode::kDbgQueued, QNode::kDbgIdle,
+                         "MCS-RW ReleaseSh with a node that is not enqueued "
+                         "(double release, or release without acquire? — "
+                         "this would otherwise hang waiting for a successor)");
     QNode* next = WaitForSuccessorOrLeave(qnode);
     if (next != nullptr &&
         SuccClass(qnode->aux.load(std::memory_order_acquire)) == kSuccWriter) {
@@ -132,6 +151,9 @@ class McsRwLock {
     // count with the next_writer field.
     const uint64_t old_word =
         word_.fetch_sub(kReaderOne, std::memory_order_acq_rel);
+    OPTIQL_INVARIANT(ReaderCount(old_word) >= 1,
+                     "MCS-RW ReleaseSh underflowed the reader count "
+                     "(release without a matching shared acquire)");
     const uint32_t waiting_writer = NextWriterId(old_word);
     if (ReaderCount(old_word) == 1 && waiting_writer != kNullId) {
       // We were the last active reader and a writer is registered: try to

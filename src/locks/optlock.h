@@ -13,12 +13,18 @@
 #include <atomic>
 #include <cstdint>
 
+#include "common/annotations.h"
 #include "common/backoff.h"
+#include "common/check.h"
 
 namespace optiql {
 
+// Only the exclusive (writer) side carries TSA annotations: an optimistic
+// AcquireSh writes nothing and its reads race by design, which TSA cannot
+// model — that side is covered by scripts/lint_optimistic.py and the
+// checked-invariant build instead.
 template <class BackoffPolicy = NoBackoff>
-class BasicOptLock {
+class OPTIQL_CAPABILITY("mutex") BasicOptLock {
  public:
   static constexpr uint64_t kLockedBit = 1ULL << 63;
   static constexpr uint64_t kObsoleteBit = 1ULL << 62;
@@ -47,7 +53,7 @@ class BasicOptLock {
 
   // --- Exclusive writer interface ---
 
-  void AcquireEx() {
+  void AcquireEx() OPTIQL_ACQUIRE() {
     BackoffPolicy backoff;
     while (true) {
       uint64_t v = word_.load(std::memory_order_relaxed);
@@ -56,14 +62,21 @@ class BasicOptLock {
     }
   }
 
-  bool TryAcquireEx() {
+  bool TryAcquireEx() OPTIQL_TRY_ACQUIRE(true) {
     uint64_t v = word_.load(std::memory_order_relaxed);
     return (v & kLockedBit) == 0 && TryAcquireExFrom(v);
   }
 
   // Upgrades an optimistic read to exclusive ownership iff the word still
   // carries the snapshot `v` from AcquireSh.
-  bool TryUpgrade(uint64_t v) {
+  bool TryUpgrade(uint64_t v) OPTIQL_TRY_ACQUIRE(true) {
+    // A locked or obsolete snapshot can never have come from a successful
+    // AcquireSh. Passing one is not a benign always-fails call: if the word
+    // still equals `v` the CAS *succeeds*, ORs the already-set locked bit,
+    // and two writers now both believe they hold the lock.
+    OPTIQL_INVARIANT((v & (kLockedBit | kObsoleteBit)) == 0,
+                     "OptLock TryUpgrade from a locked/obsolete snapshot "
+                     "(not a validated AcquireSh result)");
     return word_.compare_exchange_strong(v, v | kLockedBit,
                                          std::memory_order_acquire,
                                          std::memory_order_relaxed);
@@ -71,8 +84,11 @@ class BasicOptLock {
 
   // Releases exclusive mode, bumping the version to fail readers that
   // overlapped the critical section.
-  void ReleaseEx() {
+  void ReleaseEx() OPTIQL_RELEASE() {
     const uint64_t v = word_.load(std::memory_order_relaxed);
+    OPTIQL_INVARIANT((v & kLockedBit) != 0,
+                     "OptLock ReleaseEx on an unlocked word "
+                     "(double release?)");
     word_.store((v + 1) & ~kLockedBit, std::memory_order_release);
   }
 
@@ -80,15 +96,21 @@ class BasicOptLock {
   // the critical section modified nothing: overlapping optimistic readers
   // (and the releasing writer's own pre-upgrade snapshot) stay valid, which
   // lets a no-op structural pass back out without forcing restarts.
-  void ReleaseExNoBump() {
+  void ReleaseExNoBump() OPTIQL_RELEASE() {
     const uint64_t v = word_.load(std::memory_order_relaxed);
+    OPTIQL_INVARIANT((v & kLockedBit) != 0,
+                     "OptLock ReleaseExNoBump on an unlocked word "
+                     "(double release?)");
     word_.store(v & ~kLockedBit, std::memory_order_release);
   }
 
   // Releases exclusive mode and retires the protected object: every future
   // AcquireSh/TryUpgrade on this lock fails.
-  void ReleaseExObsolete() {
+  void ReleaseExObsolete() OPTIQL_RELEASE() {
     const uint64_t v = word_.load(std::memory_order_relaxed);
+    OPTIQL_INVARIANT((v & kLockedBit) != 0,
+                     "OptLock ReleaseExObsolete on an unlocked word: the "
+                     "obsolete bit may only be set under the writer lock");
     word_.store(((v + 1) & ~kLockedBit) | kObsoleteBit,
                 std::memory_order_release);
   }

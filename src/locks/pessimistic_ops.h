@@ -5,34 +5,50 @@
 #ifndef OPTIQL_LOCKS_PESSIMISTIC_OPS_H_
 #define OPTIQL_LOCKS_PESSIMISTIC_OPS_H_
 
+#include "common/annotations.h"
 #include "locks/shared_mutex_lock.h"
 #include "qnode/qnode_pool.h"
 
 namespace optiql {
 namespace internal {
 
+// The annotations forward the capability through the facade: TSA sees
+// `PessimisticOps<L>::AcquireSh(lock, slot)` acquire `lock` itself, so
+// callers are checked exactly as if they had called the lock directly.
+// (Both instantiations — McsRwLock and SharedMutexLock — are annotated
+// capabilities, so the attributes always name a capability type.)
 template <class Lock>
 struct PessimisticOps {
-  static void AcquireSh(Lock& lock, int slot) {
+  static void AcquireSh(Lock& lock, int slot) OPTIQL_ACQUIRE_SHARED(lock) {
     lock.AcquireSh(ThreadQNodes::Get(slot));
   }
-  static void ReleaseSh(Lock& lock, int slot) {
+  static void ReleaseSh(Lock& lock, int slot) OPTIQL_RELEASE_SHARED(lock) {
     lock.ReleaseSh(ThreadQNodes::Get(slot));
   }
-  static void AcquireEx(Lock& lock, int slot) {
+  static void AcquireEx(Lock& lock, int slot) OPTIQL_ACQUIRE(lock) {
     lock.AcquireEx(ThreadQNodes::Get(slot));
   }
-  static void ReleaseEx(Lock& lock, int slot) {
+  static void ReleaseEx(Lock& lock, int slot) OPTIQL_RELEASE(lock) {
     lock.ReleaseEx(ThreadQNodes::Get(slot));
   }
 };
 
 template <>
 struct PessimisticOps<SharedMutexLock> {
-  static void AcquireSh(SharedMutexLock& lock, int) { lock.AcquireSh(); }
-  static void ReleaseSh(SharedMutexLock& lock, int) { lock.ReleaseSh(); }
-  static void AcquireEx(SharedMutexLock& lock, int) { lock.AcquireEx(); }
-  static void ReleaseEx(SharedMutexLock& lock, int) { lock.ReleaseEx(); }
+  static void AcquireSh(SharedMutexLock& lock, int)
+      OPTIQL_ACQUIRE_SHARED(lock) {
+    lock.AcquireSh();
+  }
+  static void ReleaseSh(SharedMutexLock& lock, int)
+      OPTIQL_RELEASE_SHARED(lock) {
+    lock.ReleaseSh();
+  }
+  static void AcquireEx(SharedMutexLock& lock, int) OPTIQL_ACQUIRE(lock) {
+    lock.AcquireEx();
+  }
+  static void ReleaseEx(SharedMutexLock& lock, int) OPTIQL_RELEASE(lock) {
+    lock.ReleaseEx();
+  }
 };
 
 }  // namespace internal

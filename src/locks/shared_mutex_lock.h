@@ -7,21 +7,25 @@
 
 #include <shared_mutex>
 
+#include "common/annotations.h"
+
 namespace optiql {
 
-class SharedMutexLock {
+class OPTIQL_CAPABILITY("shared_mutex") SharedMutexLock {
  public:
   SharedMutexLock() = default;
   SharedMutexLock(const SharedMutexLock&) = delete;
   SharedMutexLock& operator=(const SharedMutexLock&) = delete;
 
-  void AcquireEx() { mutex_.lock(); }
-  bool TryAcquireEx() { return mutex_.try_lock(); }
-  void ReleaseEx() { mutex_.unlock(); }
+  void AcquireEx() OPTIQL_ACQUIRE() { mutex_.lock(); }
+  bool TryAcquireEx() OPTIQL_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+  void ReleaseEx() OPTIQL_RELEASE() { mutex_.unlock(); }
 
-  void AcquireSh() { mutex_.lock_shared(); }
-  bool TryAcquireSh() { return mutex_.try_lock_shared(); }
-  void ReleaseSh() { mutex_.unlock_shared(); }
+  void AcquireSh() OPTIQL_ACQUIRE_SHARED() { mutex_.lock_shared(); }
+  bool TryAcquireSh() OPTIQL_TRY_ACQUIRE_SHARED(true) {
+    return mutex_.try_lock_shared();
+  }
+  void ReleaseSh() OPTIQL_RELEASE_SHARED() { mutex_.unlock_shared(); }
 
  private:
   std::shared_mutex mutex_;

@@ -8,17 +8,19 @@
 #include <atomic>
 #include <cstdint>
 
+#include "common/annotations.h"
+#include "common/check.h"
 #include "common/platform.h"
 
 namespace optiql {
 
-class TicketLock {
+class OPTIQL_CAPABILITY("mutex") TicketLock {
  public:
   TicketLock() = default;
   TicketLock(const TicketLock&) = delete;
   TicketLock& operator=(const TicketLock&) = delete;
 
-  void AcquireEx() {
+  void AcquireEx() OPTIQL_ACQUIRE() {
     const uint32_t ticket =
         next_ticket_.fetch_add(1, std::memory_order_relaxed);
     SpinWait wait;
@@ -27,7 +29,7 @@ class TicketLock {
     }
   }
 
-  bool TryAcquireEx() {
+  bool TryAcquireEx() OPTIQL_TRY_ACQUIRE(true) {
     uint32_t serving = now_serving_.load(std::memory_order_acquire);
     uint32_t expected = serving;
     // Only succeeds if no one is waiting: next_ticket == now_serving.
@@ -36,7 +38,11 @@ class TicketLock {
                                                 std::memory_order_relaxed);
   }
 
-  void ReleaseEx() {
+  void ReleaseEx() OPTIQL_RELEASE() {
+    OPTIQL_INVARIANT(next_ticket_.load(std::memory_order_relaxed) !=
+                         now_serving_.load(std::memory_order_relaxed),
+                     "ticket ReleaseEx with no ticket outstanding "
+                     "(double release?)");
     now_serving_.store(now_serving_.load(std::memory_order_relaxed) + 1,
                        std::memory_order_release);
   }

@@ -7,19 +7,21 @@
 #include <atomic>
 #include <cstdint>
 
+#include "common/annotations.h"
 #include "common/backoff.h"
+#include "common/check.h"
 
 namespace optiql {
 
 // `BackoffPolicy` is NoBackoff (paper's default TTS) or ExponentialBackoff.
 template <class BackoffPolicy = NoBackoff>
-class BasicTtsLock {
+class OPTIQL_CAPABILITY("mutex") BasicTtsLock {
  public:
   BasicTtsLock() = default;
   BasicTtsLock(const BasicTtsLock&) = delete;
   BasicTtsLock& operator=(const BasicTtsLock&) = delete;
 
-  void AcquireEx() {
+  void AcquireEx() OPTIQL_ACQUIRE() {
     BackoffPolicy backoff;
     while (true) {
       if (word_.load(std::memory_order_relaxed) == kUnlocked &&
@@ -30,14 +32,18 @@ class BasicTtsLock {
     }
   }
 
-  bool TryAcquireEx() {
+  bool TryAcquireEx() OPTIQL_TRY_ACQUIRE(true) {
     uint64_t expected = kUnlocked;
     return word_.compare_exchange_strong(expected, kLocked,
                                          std::memory_order_acquire,
                                          std::memory_order_relaxed);
   }
 
-  void ReleaseEx() { word_.store(kUnlocked, std::memory_order_release); }
+  void ReleaseEx() OPTIQL_RELEASE() {
+    OPTIQL_INVARIANT(word_.load(std::memory_order_relaxed) == kLocked,
+                     "TTS ReleaseEx on an unlocked word (double release?)");
+    word_.store(kUnlocked, std::memory_order_release);
+  }
 
   bool IsLockedEx() const {
     return word_.load(std::memory_order_acquire) == kLocked;

@@ -40,11 +40,17 @@ QNode* QNodePool::Acquire() {
   }
   QNode* node = &nodes_[id];
   node->Reset();
+  node->DbgTransition(QNode::kDbgPooled, QNode::kDbgIdle,
+                      "pool Acquire of a node not marked free "
+                      "(free-list corruption?)");
   return node;
 }
 
 void QNodePool::Release(QNode* node) {
   const uint32_t id = ToId(node);
+  node->DbgTransition(QNode::kDbgIdle, QNode::kDbgPooled,
+                      "pool Release of a node that is pooled or still "
+                      "enqueued (double free / free of a live queue node)");
   std::lock_guard<std::mutex> guard(mu_);
   free_ids_.push_back(id);
 }

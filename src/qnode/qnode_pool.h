@@ -36,7 +36,32 @@ struct OPTIQL_CACHELINE_ALIGNED QNode {
   std::atomic<uint64_t> version{kInvalidVersion};
   std::atomic<uint64_t> aux{0};
 
+  // Ownership state for the checked-invariant build: free in the pool,
+  // owned by a thread but idle, or enqueued in some lock's queue. Declared
+  // unconditionally (the cacheline has 40 spare bytes, so the layout is
+  // identical in every build) but only touched under
+  // OPTIQL_CHECK_INVARIANTS. Catches double release, releasing a node
+  // never enqueued, and returning a still-enqueued node to the pool — the
+  // misuse class that otherwise shows up as a queue hang or silent
+  // corruption far from the bug.
+  static constexpr uint8_t kDbgPooled = 0;
+  static constexpr uint8_t kDbgIdle = 1;
+  static constexpr uint8_t kDbgQueued = 2;
+  std::atomic<uint8_t> dbg_state{kDbgPooled};
+
+  void DbgTransition(uint8_t from, uint8_t to, const char* msg) {
+#if defined(OPTIQL_CHECK_INVARIANTS) && OPTIQL_CHECK_INVARIANTS
+    const uint8_t prev = dbg_state.exchange(to, std::memory_order_acq_rel);
+    OPTIQL_INVARIANT(prev == from, msg);
+#else
+    (void)from;
+    (void)to;
+    (void)msg;
+#endif
+  }
+
   // Returns the node to its pristine state before (re)joining a queue.
+  // Deliberately leaves dbg_state alone: ownership does not change here.
   void Reset() {
     next.store(nullptr, std::memory_order_relaxed);
     version.store(kInvalidVersion, std::memory_order_relaxed);

@@ -6,6 +6,7 @@
 #include <atomic>
 #include <set>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "common/random.h"
@@ -24,9 +25,23 @@ using PthreadArt = ArtCouplingTree<SharedMutexLock>;
 template <class Tree>
 class ArtConcurrentTest : public ::testing::Test {};
 
+// Protocol names (ArtConcurrentTest/Olc, ...) so the TSan exclusion list
+// in tests/CMakeLists.txt can filter the optimistic variants by name.
+struct ArtNames {
+  template <class T>
+  static std::string GetName(int) {
+    if (std::is_same_v<T, OlcArt>) return "Olc";
+    if (std::is_same_v<T, OptiQlArt>) return "OptiQl";
+    if (std::is_same_v<T, OptiQlNorArt>) return "OptiQlNor";
+    if (std::is_same_v<T, McsRwArt>) return "McsRw";
+    if (std::is_same_v<T, PthreadArt>) return "Pthread";
+    return "Unknown";
+  }
+};
+
 using ArtTypes = ::testing::Types<OlcArt, OptiQlArt, OptiQlNorArt, McsRwArt,
                                   PthreadArt>;
-TYPED_TEST_SUITE(ArtConcurrentTest, ArtTypes);
+TYPED_TEST_SUITE(ArtConcurrentTest, ArtTypes, ArtNames);
 
 TYPED_TEST(ArtConcurrentTest, DisjointConcurrentInserts) {
   TypeParam tree;

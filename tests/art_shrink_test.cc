@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "common/random.h"
@@ -19,8 +20,19 @@ using OptiQlArt = ArtTree<ArtOptiQlPolicy<OptiQL>>;
 template <class Tree>
 class ArtShrinkTest : public ::testing::Test {};
 
+// Protocol names (ArtShrinkTest/Olc, ...) so the TSan exclusion list in
+// tests/CMakeLists.txt can filter the optimistic variants by name.
+struct ShrinkNames {
+  template <class T>
+  static std::string GetName(int) {
+    if (std::is_same_v<T, OlcArt>) return "Olc";
+    if (std::is_same_v<T, OptiQlArt>) return "OptiQl";
+    return "Unknown";
+  }
+};
+
 using ShrinkTypes = ::testing::Types<OlcArt, OptiQlArt>;
-TYPED_TEST_SUITE(ArtShrinkTest, ShrinkTypes);
+TYPED_TEST_SUITE(ArtShrinkTest, ShrinkTypes, ShrinkNames);
 
 TYPED_TEST(ArtShrinkTest, NodeTypesStepDownAsKeysLeave) {
   TypeParam tree;

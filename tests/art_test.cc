@@ -8,6 +8,7 @@
 
 #include <map>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "common/random.h"
@@ -24,9 +25,24 @@ using PthreadArt = ArtCouplingTree<SharedMutexLock>;
 template <class Tree>
 class ArtTest : public ::testing::Test {};
 
+// Names the typed instantiations after their protocol (ArtTest/Olc, ...)
+// so --gtest_filter can select protocols, e.g. the TSan exclusion list in
+// tests/CMakeLists.txt filtering out the optimistic variants by name.
+struct ArtNames {
+  template <class T>
+  static std::string GetName(int) {
+    if (std::is_same_v<T, OlcArt>) return "Olc";
+    if (std::is_same_v<T, OptiQlArt>) return "OptiQl";
+    if (std::is_same_v<T, OptiQlNorArt>) return "OptiQlNor";
+    if (std::is_same_v<T, McsRwArt>) return "McsRw";
+    if (std::is_same_v<T, PthreadArt>) return "Pthread";
+    return "Unknown";
+  }
+};
+
 using ArtTypes = ::testing::Types<OlcArt, OptiQlArt, OptiQlNorArt, McsRwArt,
                                   PthreadArt>;
-TYPED_TEST_SUITE(ArtTest, ArtTypes);
+TYPED_TEST_SUITE(ArtTest, ArtTypes, ArtNames);
 
 TYPED_TEST(ArtTest, EmptyTreeLookupMisses) {
   TypeParam tree;

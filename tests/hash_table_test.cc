@@ -8,6 +8,7 @@
 #include <map>
 #include <set>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "common/random.h"
@@ -22,8 +23,20 @@ using OptiQlNorHash = HashTable<HashOptiQlPolicy<OptiQLNor>>;
 template <class Table>
 class HashTableTest : public ::testing::Test {};
 
+// Protocol names (HashTableTest/Olc, ...) so the TSan exclusion list in
+// tests/CMakeLists.txt can filter the optimistic variants by name.
+struct HashNames {
+  template <class T>
+  static std::string GetName(int) {
+    if (std::is_same_v<T, OlcHash>) return "Olc";
+    if (std::is_same_v<T, OptiQlHash>) return "OptiQl";
+    if (std::is_same_v<T, OptiQlNorHash>) return "OptiQlNor";
+    return "Unknown";
+  }
+};
+
 using HashTypes = ::testing::Types<OlcHash, OptiQlHash, OptiQlNorHash>;
-TYPED_TEST_SUITE(HashTableTest, HashTypes);
+TYPED_TEST_SUITE(HashTableTest, HashTypes, HashNames);
 
 TYPED_TEST(HashTableTest, EmptyLookupMisses) {
   TypeParam table(64);

@@ -1,0 +1,176 @@
+// Negative misuse tests for the checked-invariant build
+// (-DOPTIQL_CHECK_INVARIANTS=ON): each test deliberately breaks a lock's
+// protocol — double release, upgrade from a stale snapshot, freeing a
+// queue node that is still enqueued — and passes only when the
+// corresponding OPTIQL_INVARIANT fires. In a release build the tests are
+// skipped: the misuse would be silent corruption there, which is exactly
+// the point of the checked build.
+//
+// Death tests fork per EXPECT_DEATH, so the deliberately corrupted lock
+// state never leaks into other tests.
+
+#include <cstdint>
+
+#include "core/opticlh.h"
+#include "core/optiql.h"
+#include "gtest/gtest.h"
+#include "locks/clh_lock.h"
+#include "locks/mcs_lock.h"
+#include "locks/mcs_rw_lock.h"
+#include "locks/optlock.h"
+#include "locks/ticket_lock.h"
+#include "locks/tts_lock.h"
+#include "qnode/qnode_pool.h"
+
+namespace optiql {
+namespace {
+
+#if defined(OPTIQL_CHECK_INVARIANTS) && OPTIQL_CHECK_INVARIANTS
+
+constexpr const char* kDeathMessage = "OPTIQL_INVARIANT failed";
+
+class InvariantDeathTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Fork-after-threads is unsafe with the "fast" style once the epoch /
+    // registry singletons have spun up.
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  }
+};
+
+TEST_F(InvariantDeathTest, OptLockDoubleRelease) {
+  OptLock lock;
+  lock.AcquireEx();
+  lock.ReleaseEx();
+  EXPECT_DEATH(lock.ReleaseEx(), kDeathMessage);
+}
+
+TEST_F(InvariantDeathTest, OptLockReleaseWithoutAcquire) {
+  OptLock lock;
+  EXPECT_DEATH(lock.ReleaseExNoBump(), kDeathMessage);
+}
+
+TEST_F(InvariantDeathTest, OptLockObsoleteWithoutLock) {
+  OptLock lock;
+  EXPECT_DEATH(lock.ReleaseExObsolete(), kDeathMessage);
+}
+
+// The real footgun: TryUpgrade with a snapshot taken while the lock was
+// held. If the word is unchanged the CAS *succeeds* (v | locked == v) and
+// two writers both believe they own the lock.
+TEST_F(InvariantDeathTest, OptLockUpgradeFromLockedSnapshot) {
+  OptLock lock;
+  lock.AcquireEx();
+  const uint64_t stale = lock.LoadWord();  // LOCKED bit set.
+  EXPECT_DEATH(lock.TryUpgrade(stale), kDeathMessage);
+}
+
+TEST_F(InvariantDeathTest, TtsDoubleRelease) {
+  TtsLock lock;
+  lock.AcquireEx();
+  lock.ReleaseEx();
+  EXPECT_DEATH(lock.ReleaseEx(), kDeathMessage);
+}
+
+TEST_F(InvariantDeathTest, TicketDoubleRelease) {
+  TicketLock lock;
+  lock.AcquireEx();
+  lock.ReleaseEx();
+  EXPECT_DEATH(lock.ReleaseEx(), kDeathMessage);
+}
+
+TEST_F(InvariantDeathTest, McsDoubleRelease) {
+  McsLock lock;
+  QNodeGuard guard;
+  lock.AcquireEx(guard.node());
+  lock.ReleaseEx(guard.node());
+  EXPECT_DEATH(lock.ReleaseEx(guard.node()), kDeathMessage);
+}
+
+TEST_F(InvariantDeathTest, McsAcquireWithEnqueuedNode) {
+  McsLock a;
+  McsLock b;
+  QNodeGuard guard;
+  a.AcquireEx(guard.node());
+  EXPECT_DEATH(b.AcquireEx(guard.node()), kDeathMessage);
+  a.ReleaseEx(guard.node());  // So the guard returns an idle node.
+}
+
+TEST_F(InvariantDeathTest, McsRwDoubleReleaseEx) {
+  McsRwLock lock;
+  QNodeGuard guard;
+  lock.AcquireEx(guard.node());
+  lock.ReleaseEx(guard.node());
+  EXPECT_DEATH(lock.ReleaseEx(guard.node()), kDeathMessage);
+}
+
+// Without the invariant this would HANG in WaitForSuccessorOrLeave (the
+// queue never contained the node), not fail cleanly.
+TEST_F(InvariantDeathTest, McsRwReleaseShWithoutAcquire) {
+  McsRwLock lock;
+  QNodeGuard guard;
+  EXPECT_DEATH(lock.ReleaseSh(guard.node()), kDeathMessage);
+}
+
+TEST_F(InvariantDeathTest, ClhDoubleRelease) {
+  ClhLock lock;
+  QNode* handle = lock.AcquireEx();
+  lock.ReleaseEx(handle);
+  EXPECT_DEATH(lock.ReleaseEx(handle), kDeathMessage);
+}
+
+TEST_F(InvariantDeathTest, OptiQlDoubleRelease) {
+  OptiQL lock;
+  QNodeGuard guard;
+  lock.AcquireEx(guard.node());
+  lock.ReleaseEx(guard.node());
+  EXPECT_DEATH(lock.ReleaseEx(guard.node()), kDeathMessage);
+}
+
+TEST_F(InvariantDeathTest, OptiQlReleaseWithoutAcquire) {
+  OptiQL lock;
+  QNodeGuard guard;
+  EXPECT_DEATH(lock.ReleaseEx(guard.node()), kDeathMessage);
+}
+
+// Returning a queue node to the pool while it still sits in a lock's
+// queue: the classic validate-after-free setup — the next Acquire would
+// hand the same node to another thread while the queue still links it.
+TEST_F(InvariantDeathTest, OptiQlFreeEnqueuedQNode) {
+  OptiQL lock;
+  QNodePool& pool = QNodePool::Instance();
+  QNode* node = pool.Acquire();
+  ASSERT_NE(node, nullptr);
+  lock.AcquireEx(node);
+  EXPECT_DEATH(pool.Release(node), kDeathMessage);
+  lock.ReleaseEx(node);
+  pool.Release(node);
+}
+
+TEST_F(InvariantDeathTest, QNodePoolDoubleRelease) {
+  QNodePool& pool = QNodePool::Instance();
+  QNode* node = pool.Acquire();
+  ASSERT_NE(node, nullptr);
+  pool.Release(node);
+  EXPECT_DEATH(pool.Release(node), kDeathMessage);
+  // Leave the node in the pool (released exactly once in this process).
+}
+
+TEST_F(InvariantDeathTest, OptiClhDoubleRelease) {
+  OptiCLH lock;
+  QNode* handle = lock.AcquireEx();
+  lock.ReleaseEx(handle);
+  EXPECT_DEATH(lock.ReleaseEx(handle), kDeathMessage);
+}
+
+#else  // !OPTIQL_CHECK_INVARIANTS
+
+TEST(InvariantDeathTest, SkippedInReleaseBuild) {
+  GTEST_SKIP() << "invariant checks compiled out; configure with "
+                  "-DOPTIQL_CHECK_INVARIANTS=ON";
+}
+
+#endif  // OPTIQL_CHECK_INVARIANTS
+
+}  // namespace
+}  // namespace optiql

@@ -1,0 +1,31 @@
+// Known-bad fixture: a public index operation that descends without an
+// EpochGuard anywhere in its call chain. A concurrent Remove can Retire a
+// node and — with no guard pinning the epoch — the reclaimer may free it
+// while this traversal still dereferences it. (The `index` in the file
+// name opts the fixture into the epoch-guard rule, which otherwise only
+// applies under src/index/.)
+// EXPECT-FAIL: epoch-guard
+#ifndef OPTIQL_TESTS_LINT_FIXTURES_BAD_INDEX_MISSING_EPOCH_GUARD_H_
+#define OPTIQL_TESTS_LINT_FIXTURES_BAD_INDEX_MISSING_EPOCH_GUARD_H_
+
+#include <cstdint>
+
+class UnguardedIndex {
+ public:
+  // BUG: no EpochGuard — uses DescendTo, which has none either.
+  bool Lookup(uint64_t key, uint64_t* out) const {
+    Node* leaf = DescendTo(key);
+    *out = leaf->value;
+    return true;
+  }
+
+ private:
+  struct Node {
+    uint64_t value;
+  };
+
+  Node* DescendTo(uint64_t key) const;
+  Node* root_;
+};
+
+#endif  // OPTIQL_TESTS_LINT_FIXTURES_BAD_INDEX_MISSING_EPOCH_GUARD_H_

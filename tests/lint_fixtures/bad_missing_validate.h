@@ -1,0 +1,34 @@
+// Known-bad fixture: optimistic read sections that escape without
+// validation. Each function models a real bug class: returning data from
+// an unvalidated snapshot (torn read served to the caller).
+// EXPECT-FAIL: validate-on-exit
+#ifndef OPTIQL_TESTS_LINT_FIXTURES_BAD_MISSING_VALIDATE_H_
+#define OPTIQL_TESTS_LINT_FIXTURES_BAD_MISSING_VALIDATE_H_
+
+#include <cstdint>
+
+struct Node {
+  uint64_t value;
+  Lock lock;
+};
+
+// BUG: returns the read value without ReleaseSh(v) — a concurrent writer
+// may have been mid-modification; the caller gets a torn read.
+inline uint64_t LookupNoValidate(Node& node) {
+  uint64_t v;
+  if (!node.lock.AcquireSh(v)) return 0;
+  return node.value;
+}
+
+// BUG: validates the parent but falls off the end with the child's
+// section still open.
+inline void DescendHalfValidated(Node& parent, Node& child, uint64_t* out) {
+  uint64_t pv = 0;
+  uint64_t cv = 0;
+  ReadLockOrRestart(parent.lock, pv);
+  Validate(parent.lock, pv);
+  ReadLockNode(&child, cv);
+  *out = child.value;
+}
+
+#endif  // OPTIQL_TESTS_LINT_FIXTURES_BAD_MISSING_VALIDATE_H_

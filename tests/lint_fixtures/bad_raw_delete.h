@@ -1,0 +1,27 @@
+// Known-bad fixture: freeing an index node outside the epoch layer from a
+// non-teardown function. Concurrent optimistic readers may still be
+// scanning the node — only EpochManager::Retire (or single-threaded
+// teardown) may reclaim it.
+// EXPECT-FAIL: raw-delete
+#ifndef OPTIQL_TESTS_LINT_FIXTURES_BAD_RAW_DELETE_H_
+#define OPTIQL_TESTS_LINT_FIXTURES_BAD_RAW_DELETE_H_
+
+struct Node {
+  Node* next;
+};
+
+// BUG: unlinks and immediately deletes while readers may hold a snapshot
+// of the predecessor pointing at `victim`.
+inline void UnlinkAndFree(Node* prev, Node* victim) {
+  prev->next = victim->next;
+  delete victim;
+}
+
+// BUG: same through the node-helper spelling.
+inline void ReplaceChild(Node* parent, Node* grown) {
+  Node* old = parent->next;
+  parent->next = grown;
+  Nodes::DeleteNode(old);
+}
+
+#endif  // OPTIQL_TESTS_LINT_FIXTURES_BAD_RAW_DELETE_H_

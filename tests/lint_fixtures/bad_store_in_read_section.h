@@ -1,0 +1,27 @@
+// Known-bad fixture: mutation through a pointer while an optimistic read
+// section is open. An unvalidated snapshot must never be used to write:
+// the node may already be mid-rewrite (or retired) under a concurrent
+// exclusive holder.
+// EXPECT-FAIL: no-store-in-read-section
+#ifndef OPTIQL_TESTS_LINT_FIXTURES_BAD_STORE_IN_READ_SECTION_H_
+#define OPTIQL_TESTS_LINT_FIXTURES_BAD_STORE_IN_READ_SECTION_H_
+
+#include <cstdint>
+
+struct Node {
+  uint64_t value;
+  uint64_t hits;
+  Lock lock;
+};
+
+// BUG: bumps a counter on the node under a *read* snapshot — racing every
+// concurrent writer — then validates as if the section were read-only.
+inline bool LookupAndCount(Node* node, uint64_t* out) {
+  uint64_t v;
+  if (!node->lock.AcquireSh(v)) return false;
+  node->hits++;
+  *out = node->value;
+  return node->lock.ReleaseSh(v);
+}
+
+#endif  // OPTIQL_TESTS_LINT_FIXTURES_BAD_STORE_IN_READ_SECTION_H_

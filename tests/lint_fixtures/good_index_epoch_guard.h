@@ -1,0 +1,53 @@
+// Known-good fixture for the epoch-guard rule: public ops reach an
+// EpochGuard directly, via a same-file callee, or receive one from the
+// caller. Also exercises the sanctioned reclamation path (delete inside a
+// Retire deleter) and teardown-named frees, which raw-delete must accept.
+#ifndef OPTIQL_TESTS_LINT_FIXTURES_GOOD_INDEX_EPOCH_GUARD_H_
+#define OPTIQL_TESTS_LINT_FIXTURES_GOOD_INDEX_EPOCH_GUARD_H_
+
+#include <cstdint>
+
+class GuardedIndex {
+ public:
+  ~GuardedIndex() { FreeSubtree(root_); }
+
+  // Direct guard.
+  bool Lookup(uint64_t key, uint64_t* out) const {
+    EpochGuard guard;
+    return LookupImpl(key, out);
+  }
+
+  // Transitive: Write() holds the guard for all three mutating ops.
+  bool Insert(uint64_t key, uint64_t value) { return Write(key, &value); }
+  bool Update(uint64_t key, uint64_t value) { return Write(key, &value); }
+
+  // Caller-provided guard (the ART pattern).
+  bool Remove(uint64_t key, EpochGuard& guard) {
+    Node* victim = Detach(key);
+    // Sanctioned reclamation: the delete runs inside the epoch layer.
+    EpochManager::Instance().Retire(
+        victim, [](void* p) { delete static_cast<Node*>(p); });
+    return victim != nullptr;
+  }
+
+ private:
+  struct Node {
+    uint64_t value;
+  };
+
+  bool Write(uint64_t key, const uint64_t* value) {
+    EpochGuard guard;
+    return true;
+  }
+
+  // Teardown helper: single-threaded by contract, frees are legal.
+  void FreeSubtree(Node* node) {
+    delete node;
+  }
+
+  bool LookupImpl(uint64_t key, uint64_t* out) const;
+  Node* Detach(uint64_t key);
+  Node* root_;
+};
+
+#endif  // OPTIQL_TESTS_LINT_FIXTURES_GOOD_INDEX_EPOCH_GUARD_H_

@@ -169,7 +169,7 @@ TEST(TraceReplayTest, MultithreadedReplayPreservesTotals) {
   tree.CheckInvariants();
 }
 
-TEST(TraceReplayTest, ArtReplayTreatsScansAsLookups) {
+TEST(TraceReplayTest, MultithreadedArtReplayTreatsScansAsLookups) {
   TraceConfig config;
   config.operations = 4000;
   config.key_space = 500;
