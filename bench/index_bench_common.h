@@ -13,6 +13,7 @@
 #include "index/art.h"
 #include "index/art_coupling.h"
 #include "index/btree.h"
+#include "index/index_ops.h"
 #include "sync/epoch.h"
 
 namespace optiql {
@@ -35,15 +36,6 @@ using ArtOptiQlNor = ArtTree<ArtOptiQlPolicy<OptiQLNor>>;
 using ArtPthread = ArtCouplingTree<SharedMutexLock>;
 using ArtMcsRw = ArtCouplingTree<McsRwLock>;
 
-namespace internal {
-
-template <class Tree>
-concept HasNodeCount = requires(const Tree& t) {
-  { t.NodeCount() } -> std::convertible_to<size_t>;
-};
-
-}  // namespace internal
-
 // Steady-state churn measurement: runs the same fixed-population workload
 // twice against a preloaded tree and snapshots the live node count after
 // each window plus the epoch layer's retire/reclaim totals across both.
@@ -59,7 +51,7 @@ struct SteadyStateReport {
 };
 
 template <class Tree>
-  requires internal::HasNodeCount<Tree>
+  requires HasNodeCountOp<Tree>
 SteadyStateReport RunChurnWindows(Tree& tree, const IndexWorkload& workload) {
   SteadyStateReport report;
   // The retire/reclaim totals are process-global; retirements left pending

@@ -9,6 +9,7 @@
 
 #include "index/art.h"
 #include "index/btree.h"
+#include "store/sharded_store.h"
 #include "workload/trace.h"
 #include "workload/trace_replay.h"
 
@@ -85,6 +86,31 @@ int main(int argc, char** argv) {
     optiql::ArtTree<optiql::ArtOptiQlPolicy<optiql::OptiQL>> tree;
     PrintResult("ART (OptiQL)", ReplayTrace(tree, reloaded, threads));
     tree.CheckInvariants();
+  }
+  // The sharded store satisfies the same IndexOps surface, so the very
+  // same replay drives it unchanged — once with the default round-robin
+  // partitioning, once with key-hash partitioning (threads own disjoint
+  // key sets and, since shards use the same hash family, whole shards).
+  {
+    optiql::ShardedStore<
+        optiql::BTree<uint64_t, uint64_t,
+                      optiql::BTreeOptiQlPolicy<optiql::OptiQL>>>
+        store(static_cast<size_t>(threads));
+    PrintResult("Sharded B+ (rrobin)",
+                ReplayTrace(store, reloaded, threads));
+    store.CheckInvariants();
+  }
+  {
+    optiql::ShardedStore<
+        optiql::BTree<uint64_t, uint64_t,
+                      optiql::BTreeOptiQlPolicy<optiql::OptiQL>>>
+        store(static_cast<size_t>(threads));
+    optiql::ReplayOptions options;
+    options.threads = threads;
+    options.partition_by_key = true;
+    PrintResult("Sharded B+ (by-key)",
+                ReplayTrace(store, reloaded, options));
+    store.CheckInvariants();
   }
 
   std::remove(path.c_str());

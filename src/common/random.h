@@ -26,6 +26,16 @@ class SplitMix64 {
   uint64_t state_;
 };
 
+// SplitMix64 finalizer as a stateless hash: full-avalanche mix of a 64-bit
+// key. This is the one hash family shared by everything that partitions by
+// key (the sharded store's router, key-partitioned trace replay), so
+// "thread count == shard count" lines the two partitions up exactly.
+inline uint64_t Mix64(uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 // xoshiro256** 1.0 (Blackman, Vigna): the workhorse generator for benchmark
 // threads. One instance per thread; never shared.
 class Xoshiro256 {

@@ -3,9 +3,10 @@
 // lookups/updates/inserts/removes with a configurable key distribution
 // (uniform or self-similar) over a dense or sparse key space.
 //
-// Works with any index exposing either the B+-tree interface
-// (Insert/Update/Lookup with integer keys) or ART's integer convenience
-// interface (InsertInt/UpdateInt/LookupInt).
+// Works with anything satisfying IndexLike (see index/index_ops.h): the
+// B+-tree, ART, the hash table, and composites like ShardedStore all run
+// through the uniform IndexInsert/IndexUpdate/IndexLookup/IndexRemove
+// surface.
 #ifndef OPTIQL_HARNESS_INDEX_BENCH_H_
 #define OPTIQL_HARNESS_INDEX_BENCH_H_
 
@@ -19,6 +20,7 @@
 #include "common/check.h"
 #include "common/random.h"
 #include "harness/bench_runner.h"
+#include "index/index_ops.h"
 #include "workload/distributions.h"
 #include "workload/key_generator.h"
 
@@ -62,66 +64,11 @@ inline constexpr OpMix kPaperOpMixes[] = {
     {"Write-heavy", 20, 80}, {"Update-only", 0, 100},
 };
 
-namespace internal {
-
-template <class Tree>
-concept HasIntSuffixOps = requires(Tree t, uint64_t k, uint64_t v) {
-  { t.InsertInt(k, v) } -> std::same_as<bool>;
-};
-
-template <class Tree>
-bool IndexInsert(Tree& tree, uint64_t key, uint64_t value) {
-  if constexpr (HasIntSuffixOps<Tree>) {
-    return tree.InsertInt(key, value);
-  } else {
-    return tree.Insert(key, value);
-  }
-}
-
-template <class Tree>
-bool IndexUpdate(Tree& tree, uint64_t key, uint64_t value) {
-  if constexpr (HasIntSuffixOps<Tree>) {
-    return tree.UpdateInt(key, value);
-  } else {
-    return tree.Update(key, value);
-  }
-}
-
-template <class Tree>
-bool IndexLookup(const Tree& tree, uint64_t key, uint64_t& out) {
-  if constexpr (HasIntSuffixOps<Tree>) {
-    return tree.LookupInt(key, out);
-  } else {
-    return tree.Lookup(key, out);
-  }
-}
-
-template <class Tree>
-bool IndexRemove(Tree& tree, uint64_t key) {
-  if constexpr (HasIntSuffixOps<Tree>) {
-    return tree.RemoveInt(key);
-  } else {
-    return tree.Remove(key);
-  }
-}
-
-}  // namespace internal
-
-namespace internal {
-
-template <class Tree>
-concept HasBulkLoad = requires(
-    Tree t, const std::vector<std::pair<uint64_t, uint64_t>>& pairs) {
-  t.BulkLoad(pairs);
-};
-
-}  // namespace internal
-
 // Loads `records` keys under the configured key space, bulk-loading when
 // the index supports it.
-template <class Tree>
+template <IndexLike Tree>
 void PreloadIndex(Tree& tree, const IndexWorkload& workload) {
-  if constexpr (internal::HasBulkLoad<Tree>) {
+  if constexpr (HasBulkLoadOp<Tree>) {
     std::vector<std::pair<uint64_t, uint64_t>> pairs;
     pairs.reserve(workload.records);
     for (uint64_t i = 0; i < workload.records; ++i) {
@@ -134,12 +81,12 @@ void PreloadIndex(Tree& tree, const IndexWorkload& workload) {
   }
   for (uint64_t i = 0; i < workload.records; ++i) {
     const uint64_t key = MakeKey(i, workload.key_space);
-    OPTIQL_CHECK(internal::IndexInsert(tree, key, key + 1));
+    OPTIQL_CHECK(IndexInsert(tree, key, key + 1));
   }
 }
 
 // Runs the configured mix against a preloaded index.
-template <class Tree>
+template <IndexLike Tree>
 RunResult RunIndexBench(Tree& tree, const IndexWorkload& workload) {
   OPTIQL_CHECK(workload.lookup_pct + workload.update_pct +
                    workload.insert_pct + workload.remove_pct ==
@@ -182,26 +129,25 @@ RunResult RunIndexBench(Tree& tree, const IndexWorkload& workload) {
 
       if (op < static_cast<uint64_t>(workload.lookup_pct)) {
         uint64_t out = 0;
-        internal::IndexLookup(tree, key, out);
+        IndexLookup(tree, key, out);
       } else if (op < static_cast<uint64_t>(workload.lookup_pct +
                                             workload.update_pct)) {
-        internal::IndexUpdate(tree, key, rng.Next() | 1);
+        IndexUpdate(tree, key, rng.Next() | 1);
       } else if (op < static_cast<uint64_t>(workload.lookup_pct +
                                             workload.update_pct +
                                             workload.insert_pct)) {
         if (workload.fixed_population) {
           // Re-insert within the preload range; duplicates fail and count
           // as completed ops, keeping the population near `records`.
-          internal::IndexInsert(tree, key, index);
+          IndexInsert(tree, key, index);
         } else {
           const uint64_t fresh =
               next_fresh.fetch_add(1, std::memory_order_relaxed);
-          internal::IndexInsert(tree, MakeKey(fresh, workload.key_space),
-                                fresh);
+          IndexInsert(tree, MakeKey(fresh, workload.key_space), fresh);
         }
       } else if (workload.fixed_population) {
         // Remove within the preload range; misses are fine.
-        internal::IndexRemove(tree, key);
+        IndexRemove(tree, key);
       } else {
         // Remove a key inserted by the insert arm (wraps back into the
         // fresh range); misses are fine and counted as completed ops.
@@ -211,7 +157,7 @@ RunResult RunIndexBench(Tree& tree, const IndexWorkload& workload) {
                 std::max<uint64_t>(
                     1, next_fresh.load(std::memory_order_relaxed) -
                            workload.records));
-        internal::IndexRemove(tree, MakeKey(target, workload.key_space));
+        IndexRemove(tree, MakeKey(target, workload.key_space));
       }
 
       if (timed) {

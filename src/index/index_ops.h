@@ -1,0 +1,167 @@
+// The one uniform operation surface over every index in the repo.
+//
+// The indexes grew three incompatible point-op interfaces: the B+-tree and
+// hash table take integer keys directly (Insert/Lookup/...), ART exposes
+// byte-string ops plus an *Int convenience suffix (InsertInt/LookupInt/...),
+// and capabilities like Scan, BulkLoad, Upsert or NodeCount exist only on
+// some of them. Every consumer (harness, trace replay, benches, examples)
+// used to roll its own duck-typed shims over that split; this header is now
+// the single home for both:
+//
+//   * capability detection — the Has*Op concepts below; nothing outside
+//     this file may re-derive what an index can do, and
+//   * the uniform free functions — IndexInsert/IndexUpdate/IndexLookup/
+//     IndexRemove/IndexUpsert/IndexScan — which dispatch to whichever
+//     spelling the index provides.
+//
+// Anything satisfying IndexLike (including composites such as
+// ShardedStore, which itself routes through these functions) runs through
+// the whole harness / replay / bench stack unchanged.
+#ifndef OPTIQL_INDEX_INDEX_OPS_H_
+#define OPTIQL_INDEX_INDEX_OPS_H_
+
+#include <concepts>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace optiql {
+
+// --- Capability detection (defined HERE and nowhere else) ------------------
+
+// Native integer point ops: B+-tree, hash table, sharded store.
+template <class Index>
+concept HasNativeIntOps =
+    requires(Index t, const Index c, uint64_t k, uint64_t v, uint64_t& out) {
+      { t.Insert(k, v) } -> std::same_as<bool>;
+      { t.Update(k, v) } -> std::same_as<bool>;
+      { c.Lookup(k, out) } -> std::same_as<bool>;
+      { t.Remove(k) } -> std::same_as<bool>;
+    };
+
+// ART-style integer convenience suffix over a byte-string core.
+template <class Index>
+concept HasIntSuffixOps =
+    requires(Index t, const Index c, uint64_t k, uint64_t v, uint64_t& out) {
+      { t.InsertInt(k, v) } -> std::same_as<bool>;
+      { t.UpdateInt(k, v) } -> std::same_as<bool>;
+      { c.LookupInt(k, out) } -> std::same_as<bool>;
+      { t.RemoveInt(k) } -> std::same_as<bool>;
+    };
+
+// Anything the harness, trace replay and benches can drive.
+template <class Index>
+concept IndexLike = HasNativeIntOps<Index> || HasIntSuffixOps<Index>;
+
+// Ascending range scan (B+-tree, sharded store; ART has none).
+template <class Index>
+concept HasScanOp =
+    requires(const Index t, uint64_t k, size_t n,
+             std::vector<std::pair<uint64_t, uint64_t>>& out) {
+      { t.Scan(k, n, out) } -> std::same_as<size_t>;
+    };
+
+// Native insert-or-update (B+-tree, hash table, sharded store).
+template <class Index>
+concept HasUpsertOp = requires(Index t, uint64_t k, uint64_t v) {
+  t.Upsert(k, v);
+};
+
+// Sorted bottom-up bulk load into an empty index.
+template <class Index>
+concept HasBulkLoadOp =
+    requires(Index t, const std::vector<std::pair<uint64_t, uint64_t>>& p) {
+      t.BulkLoad(p);
+    };
+
+// Live structural node count (steady-state churn reporting).
+template <class Index>
+concept HasNodeCountOp = requires(const Index t) {
+  { t.NodeCount() } -> std::convertible_to<size_t>;
+};
+
+// Single-threaded structural self-check.
+template <class Index>
+concept HasCheckInvariantsOp = requires(const Index t) {
+  t.CheckInvariants();
+};
+
+// --- Uniform point operations ----------------------------------------------
+//
+// Dispatch prefers the *Int suffix when both spellings exist (ART's
+// byte-string ops would otherwise reject an integer key outright).
+
+template <IndexLike Index>
+bool IndexInsert(Index& index, uint64_t key, uint64_t value) {
+  if constexpr (HasIntSuffixOps<Index>) {
+    return index.InsertInt(key, value);
+  } else {
+    return index.Insert(key, value);
+  }
+}
+
+template <IndexLike Index>
+bool IndexUpdate(Index& index, uint64_t key, uint64_t value) {
+  if constexpr (HasIntSuffixOps<Index>) {
+    return index.UpdateInt(key, value);
+  } else {
+    return index.Update(key, value);
+  }
+}
+
+template <IndexLike Index>
+bool IndexLookup(const Index& index, uint64_t key, uint64_t& out) {
+  if constexpr (HasIntSuffixOps<Index>) {
+    return index.LookupInt(key, out);
+  } else {
+    return index.Lookup(key, out);
+  }
+}
+
+template <IndexLike Index>
+bool IndexRemove(Index& index, uint64_t key) {
+  if constexpr (HasIntSuffixOps<Index>) {
+    return index.RemoveInt(key);
+  } else {
+    return index.Remove(key);
+  }
+}
+
+// Insert-or-update. Indexes without a native Upsert get an update-then-
+// insert loop: under concurrency either arm can lose its race (the key
+// appears between the failed update and the insert, or vice versa), but
+// one arm must eventually win.
+template <IndexLike Index>
+void IndexUpsert(Index& index, uint64_t key, uint64_t value) {
+  if constexpr (HasUpsertOp<Index>) {
+    index.Upsert(key, value);
+  } else {
+    while (!IndexUpdate(index, key, value)) {
+      if (IndexInsert(index, key, value)) return;
+    }
+  }
+}
+
+// Ascending range scan from `start` (inclusive), up to `limit` pairs.
+// Only defined for scan-capable indexes; callers that want a degraded
+// point-probe fallback branch on HasScanOp themselves (trace replay turns
+// scans into lookups for ART, reporting zero scanned pairs).
+template <IndexLike Index>
+  requires HasScanOp<Index>
+size_t IndexScan(const Index& index, uint64_t start, size_t limit,
+                 std::vector<std::pair<uint64_t, uint64_t>>& out) {
+  return index.Scan(start, limit, out);
+}
+
+// Structural self-check; no-op for indexes without one so generic tests
+// can sprinkle it unconditionally.
+template <IndexLike Index>
+void IndexCheckInvariants(const Index& index) {
+  if constexpr (HasCheckInvariantsOp<Index>) {
+    index.CheckInvariants();
+  }
+}
+
+}  // namespace optiql
+
+#endif  // OPTIQL_INDEX_INDEX_OPS_H_

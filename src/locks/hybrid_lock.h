@@ -22,6 +22,7 @@
 #include <cstdint>
 
 #include "common/backoff.h"
+#include "common/check.h"
 #include "common/platform.h"
 
 namespace optiql {
@@ -67,6 +68,12 @@ class HybridLock {
         v = word_.load(std::memory_order_relaxed);
         continue;
       }
+      // Mode-transition legality: one more reader must fit in the 15-bit
+      // count; overflowing it would carry into the exclusive bit and
+      // fabricate a writer.
+      OPTIQL_INVARIANT((v & kSharedMask) != kSharedMask,
+                       "hybrid shared-count overflow: more than 2^15-1 "
+                       "concurrent pessimistic readers");
       if (word_.compare_exchange_weak(v, v + kSharedOne,
                                       std::memory_order_acquire,
                                       std::memory_order_relaxed)) {
@@ -76,7 +83,14 @@ class HybridLock {
   }
 
   void ReleaseShPessimistic() {
-    word_.fetch_sub(kSharedOne, std::memory_order_release);
+    const uint64_t prev =
+        word_.fetch_sub(kSharedOne, std::memory_order_release);
+    // A release with no reader registered underflows the count into the
+    // version field, silently invalidating every optimistic snapshot.
+    OPTIQL_INVARIANT((prev & kSharedMask) != 0,
+                     "hybrid ReleaseShPessimistic without a pessimistic "
+                     "reader registered");
+    (void)prev;
   }
 
   // --- Exclusive writer interface ---
@@ -115,6 +129,13 @@ class HybridLock {
 
   void ReleaseEx() {
     const uint64_t v = word_.load(std::memory_order_relaxed);
+    // Mode-transition legality: only the exclusive state may transition
+    // back to free, and exclusive excludes shared readers by acquisition
+    // order — a nonzero count here means the word was corrupted.
+    OPTIQL_INVARIANT((v & kExclusiveBit) != 0,
+                     "hybrid ReleaseEx without holding the lock");
+    OPTIQL_INVARIANT((v & kSharedMask) == 0,
+                     "hybrid ReleaseEx with pessimistic readers registered");
     word_.store(((v & kVersionMask) + 1) & kVersionMask,
                 std::memory_order_release);
   }

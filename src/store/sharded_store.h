@@ -1,0 +1,213 @@
+// Sharded composition of index instances: the partitioned regime the
+// production north star needs, where per-partition contention (and thus
+// lock robustness, §7.3's collapse curves) is decided by key routing.
+//
+// ShardedStore<Index, Router> owns N independent shards of any IndexLike
+// index and routes every point op through the router (default: hash
+// partitioning via the shared Mix64 family — adjacent hot keys land on
+// different shards, which is exactly what breaks the B+-tree's hot-leaf
+// convoys under skew). The router is a pluggable policy so range
+// partitioning can slot in later without touching the store.
+//
+// Scan is scatter-gather: hash routing scatters any key range over every
+// shard, so the store over-fetches up to `limit` pairs from each shard and
+// keeps the globally smallest `limit` via a k-way merge. Like the
+// underlying tree scans, the result is not an atomic snapshot across
+// shards (each shard's segment is internally consistent).
+//
+// Epoch integration: there is ONE epoch domain (the process-wide
+// EpochManager) shared by all shards. Every public op opens an EpochGuard
+// before touching a shard — Enter/Exit are re-entrant, so the shard's own
+// guard nests for free and a scatter-gather scan pays one epoch
+// transition instead of N.
+//
+// Because ShardedStore itself satisfies the IndexOps surface
+// (index/index_ops.h), it runs through the entire existing harness, trace
+// replay, and bench stack unchanged.
+#ifndef OPTIQL_STORE_SHARDED_STORE_H_
+#define OPTIQL_STORE_SHARDED_STORE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "index/index_ops.h"
+#include "sync/epoch.h"
+
+namespace optiql {
+
+// Default router: full-avalanche hash partitioning. Uses the same Mix64
+// family as key-partitioned trace replay so "replay threads == shards"
+// gives every replay thread exclusive ownership of its shards.
+struct HashShardRouter {
+  size_t operator()(uint64_t key, size_t shard_count) const {
+    return static_cast<size_t>(Mix64(key) % shard_count);
+  }
+};
+
+template <class Index, class Router = HashShardRouter>
+  requires IndexLike<Index>
+class ShardedStore {
+ public:
+  static constexpr size_t kDefaultShards = 8;
+
+  explicit ShardedStore(size_t shards = kDefaultShards,
+                        Router router = Router())
+      : router_(std::move(router)) {
+    OPTIQL_CHECK(shards >= 1);
+    shards_.reserve(shards);
+    for (size_t i = 0; i < shards; ++i) {
+      shards_.push_back(std::make_unique<Index>());
+    }
+  }
+
+  ShardedStore(const ShardedStore&) = delete;
+  ShardedStore& operator=(const ShardedStore&) = delete;
+
+  // --- Uniform point ops (the IndexOps surface) ---
+
+  bool Insert(uint64_t key, uint64_t value) {
+    EpochGuard guard;
+    return IndexInsert(ShardFor(key), key, value);
+  }
+
+  bool Update(uint64_t key, uint64_t value) {
+    EpochGuard guard;
+    return IndexUpdate(ShardFor(key), key, value);
+  }
+
+  bool Lookup(uint64_t key, uint64_t& out) const {
+    EpochGuard guard;
+    return IndexLookup(ShardFor(key), key, out);
+  }
+
+  bool Remove(uint64_t key) {
+    EpochGuard guard;
+    return IndexRemove(ShardFor(key), key);
+  }
+
+  void Upsert(uint64_t key, uint64_t value) {
+    EpochGuard guard;
+    IndexUpsert(ShardFor(key), key, value);
+  }
+
+  // --- Range scan: scatter-gather with a k-way merge ---
+
+  size_t Scan(uint64_t start, size_t limit,
+              std::vector<std::pair<uint64_t, uint64_t>>& out) const
+    requires HasScanOp<Index>
+  {
+    out.clear();
+    if (limit == 0) return 0;
+    EpochGuard guard;
+    if (shards_.size() == 1) {
+      return shards_[0]->Scan(start, limit, out);
+    }
+    // Each shard holds an unknown interleaving of the range, so every
+    // shard must contribute its first `limit` pairs >= start; the merge
+    // then keeps the globally smallest `limit` of the union.
+    std::vector<std::vector<std::pair<uint64_t, uint64_t>>> partials(
+        shards_.size());
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      shards_[s]->Scan(start, limit, partials[s]);
+    }
+    // K-way merge over per-shard cursors via a min-heap on the head key.
+    struct Cursor {
+      size_t shard;
+      size_t pos;
+    };
+    const auto later = [&partials](const Cursor& a, const Cursor& b) {
+      return partials[a.shard][a.pos].first > partials[b.shard][b.pos].first;
+    };
+    std::vector<Cursor> heap;
+    heap.reserve(shards_.size());
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      if (!partials[s].empty()) heap.push_back(Cursor{s, 0});
+    }
+    std::make_heap(heap.begin(), heap.end(), later);
+    while (!heap.empty() && out.size() < limit) {
+      std::pop_heap(heap.begin(), heap.end(), later);
+      Cursor cursor = heap.back();
+      heap.pop_back();
+      out.push_back(partials[cursor.shard][cursor.pos]);
+      if (++cursor.pos < partials[cursor.shard].size()) {
+        heap.push_back(cursor);
+        std::push_heap(heap.begin(), heap.end(), later);
+      }
+    }
+    return out.size();
+  }
+
+  // --- Bulk load (sorted, unique pairs into an EMPTY store) ---
+  //
+  // Not thread-safe, mirroring the per-index contract. Partitioning a
+  // sorted input preserves sort order within each shard, so shards with a
+  // native bulk load keep their packed bottom-up build.
+  void BulkLoad(const std::vector<std::pair<uint64_t, uint64_t>>& pairs) {
+    std::vector<std::vector<std::pair<uint64_t, uint64_t>>> parts(
+        shards_.size());
+    for (auto& part : parts) part.reserve(pairs.size() / shards_.size() + 1);
+    for (const auto& pair : pairs) {
+      parts[router_(pair.first, shards_.size())].push_back(pair);
+    }
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      if constexpr (HasBulkLoadOp<Index>) {
+        shards_[s]->BulkLoad(parts[s]);
+      } else {
+        EpochGuard guard;
+        for (const auto& pair : parts[s]) {
+          OPTIQL_CHECK(IndexInsert(*shards_[s], pair.first, pair.second));
+        }
+      }
+    }
+  }
+
+  // --- Introspection / diagnostics ---
+
+  size_t Size() const {
+    size_t total = 0;
+    for (const auto& shard : shards_) total += shard->Size();
+    return total;
+  }
+
+  size_t ShardCount() const { return shards_.size(); }
+
+  // Shard an op on `key` would be routed to (tests, affinity diagnostics).
+  size_t ShardIndexOf(uint64_t key) const {
+    return router_(key, shards_.size());
+  }
+
+  Index& ShardAt(size_t i) { return *shards_[i]; }
+  const Index& ShardAt(size_t i) const { return *shards_[i]; }
+
+  size_t NodeCount() const
+    requires HasNodeCountOp<Index>
+  {
+    size_t total = 0;
+    for (const auto& shard : shards_) total += shard->NodeCount();
+    return total;
+  }
+
+  void CheckInvariants() const
+    requires HasCheckInvariantsOp<Index>
+  {
+    for (const auto& shard : shards_) shard->CheckInvariants();
+  }
+
+ private:
+  Index& ShardFor(uint64_t key) { return *shards_[ShardIndexOf(key)]; }
+  const Index& ShardFor(uint64_t key) const {
+    return *shards_[ShardIndexOf(key)];
+  }
+
+  std::vector<std::unique_ptr<Index>> shards_;
+  Router router_;
+};
+
+}  // namespace optiql
+
+#endif  // OPTIQL_STORE_SHARDED_STORE_H_

@@ -1,6 +1,17 @@
-// Multithreaded trace replay against any index with the repo's point-op
-// interface (B+-tree style or ART's *Int style). Ops are partitioned
-// round-robin across threads; each thread replays its slice in order.
+// Multithreaded trace replay against anything satisfying IndexLike
+// (see index/index_ops.h). Two op-partitioning schemes:
+//
+//   * Round-robin (default): thread t replays ops t, t+threads, ... in
+//     order. Even spread regardless of key distribution, but every thread
+//     touches every key region — against a sharded store each thread ends
+//     up hammering every shard.
+//   * Key hash (ReplayOptions::partition_by_key): thread t replays exactly
+//     the ops whose key hashes to it (Mix64(key) % threads). Each thread
+//     owns a disjoint key set, so per-key op order is preserved from the
+//     trace, and — because the sharded store routes with the same Mix64
+//     family — threads develop shard affinity (threads == shards lines the
+//     two partitions up exactly) instead of serializing every shard on
+//     every thread.
 #ifndef OPTIQL_WORKLOAD_TRACE_REPLAY_H_
 #define OPTIQL_WORKLOAD_TRACE_REPLAY_H_
 
@@ -8,24 +19,23 @@
 #include <thread>
 #include <vector>
 
-#include "harness/index_bench.h"
+#include "common/random.h"
+#include "index/index_ops.h"
 #include "workload/trace.h"
 
 namespace optiql {
 
-namespace internal {
-
-// Scan support is optional (ART has none); detect it.
-template <class Tree>
-concept HasScan = requires(Tree t, uint64_t k,
-                           std::vector<std::pair<uint64_t, uint64_t>>& out) {
-  { t.Scan(k, size_t{1}, out) } -> std::same_as<size_t>;
+struct ReplayOptions {
+  int threads = 1;
+  // false: ops are dealt round-robin across threads (the historical
+  // behavior). true: ops are partitioned by key hash as described above.
+  bool partition_by_key = false;
 };
 
-}  // namespace internal
-
-template <class Tree>
-ReplayResult ReplayTrace(Tree& tree, const Trace& trace, int threads = 1) {
+template <IndexLike Tree>
+ReplayResult ReplayTrace(Tree& tree, const Trace& trace,
+                         const ReplayOptions& options) {
+  const int threads = options.threads;
   std::vector<ReplayResult> partials(static_cast<size_t>(threads));
   const auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> workers;
@@ -34,45 +44,56 @@ ReplayResult ReplayTrace(Tree& tree, const Trace& trace, int threads = 1) {
       ReplayResult& stats = partials[static_cast<size_t>(t)];
       std::vector<std::pair<uint64_t, uint64_t>> scan_buffer;
       const auto& ops = trace.ops();
-      for (size_t i = static_cast<size_t>(t); i < ops.size();
-           i += static_cast<size_t>(threads)) {
+      // Key-partitioned threads walk the whole trace and skip foreign
+      // keys: a sequential read per thread is far cheaper than building
+      // per-thread op lists up front.
+      const size_t step =
+          options.partition_by_key ? 1 : static_cast<size_t>(threads);
+      const size_t first =
+          options.partition_by_key ? 0 : static_cast<size_t>(t);
+      for (size_t i = first; i < ops.size(); i += step) {
         const TraceOp& op = ops[i];
+        if (options.partition_by_key &&
+            Mix64(op.key) % static_cast<uint64_t>(threads) !=
+                static_cast<uint64_t>(t)) {
+          continue;
+        }
         switch (op.kind) {
           case TraceOp::Kind::kLookup: {
             uint64_t out = 0;
             ++stats.lookups;
-            if (internal::IndexLookup(tree, op.key, out)) {
+            if (IndexLookup(tree, op.key, out)) {
               ++stats.lookup_hits;
             }
             break;
           }
           case TraceOp::Kind::kInsert:
             ++stats.inserts;
-            if (internal::IndexInsert(tree, op.key, op.value)) {
+            if (IndexInsert(tree, op.key, op.value)) {
               ++stats.insert_ok;
             }
             break;
           case TraceOp::Kind::kUpdate:
             ++stats.updates;
-            if (internal::IndexUpdate(tree, op.key, op.value)) {
+            if (IndexUpdate(tree, op.key, op.value)) {
               ++stats.update_ok;
             }
             break;
           case TraceOp::Kind::kRemove:
             ++stats.removes;
-            if (internal::IndexRemove(tree, op.key)) {
+            if (IndexRemove(tree, op.key)) {
               ++stats.remove_ok;
             }
             break;
           case TraceOp::Kind::kScan:
             ++stats.scans;
-            if constexpr (internal::HasScan<Tree>) {
-              stats.scanned_pairs += tree.Scan(
-                  op.key, static_cast<size_t>(op.value), scan_buffer);
+            if constexpr (HasScanOp<Tree>) {
+              stats.scanned_pairs += IndexScan(
+                  tree, op.key, static_cast<size_t>(op.value), scan_buffer);
             } else {
               // Indexes without range support treat scans as lookups.
               uint64_t out = 0;
-              internal::IndexLookup(tree, op.key, out);
+              IndexLookup(tree, op.key, out);
             }
             break;
         }
@@ -97,6 +118,13 @@ ReplayResult ReplayTrace(Tree& tree, const Trace& trace, int threads = 1) {
   }
   total.seconds = std::chrono::duration<double>(end - start).count();
   return total;
+}
+
+template <IndexLike Tree>
+ReplayResult ReplayTrace(Tree& tree, const Trace& trace, int threads = 1) {
+  ReplayOptions options;
+  options.threads = threads;
+  return ReplayTrace(tree, trace, options);
 }
 
 }  // namespace optiql

@@ -169,6 +169,73 @@ TEST(TraceReplayTest, MultithreadedReplayPreservesTotals) {
   tree.CheckInvariants();
 }
 
+// Key-hash partitioning must preserve per-key program order: each key is
+// owned by exactly one thread, which walks the trace in order. A trace of
+// insert-then-updates per key therefore ends with the LAST update's value
+// for every key — a guarantee round-robin replay cannot make. Runs over
+// the pessimistic coupling tree, so (unlike the Multithreaded* suites
+// above) it stays IN the TSan run and validates the partitioning's own
+// thread handoff.
+TEST(TraceReplayTest, KeyPartitionPreservesPerKeyOrderConcurrent) {
+  constexpr uint64_t kKeys = 400;
+  constexpr uint64_t kUpdateWaves = 5;
+  std::vector<TraceOp> ops;
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    ops.push_back({TraceOp::Kind::kInsert, k, 0});
+  }
+  for (uint64_t wave = 1; wave <= kUpdateWaves; ++wave) {
+    for (uint64_t k = 0; k < kKeys; ++k) {
+      ops.push_back({TraceOp::Kind::kUpdate, k, wave});
+    }
+  }
+  const Trace trace(std::move(ops));
+
+  BTree<uint64_t, uint64_t, BTreeCouplingPolicy<McsRwLock>> tree;
+  ReplayOptions options;
+  options.threads = 4;
+  options.partition_by_key = true;
+  const ReplayResult result = ReplayTrace(tree, trace, options);
+  EXPECT_EQ(result.TotalOps(), trace.size());
+  EXPECT_EQ(result.insert_ok, kKeys);
+  EXPECT_EQ(result.update_ok, kKeys * kUpdateWaves);
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    uint64_t out = 0;
+    ASSERT_TRUE(tree.Lookup(k, out));
+    ASSERT_EQ(out, kUpdateWaves) << "key " << k;
+  }
+  tree.CheckInvariants();
+}
+
+// Every op is replayed exactly once under key partitioning — no op is
+// dropped or double-counted when the per-thread hash filters tile the
+// keyspace.
+TEST(TraceReplayTest, KeyPartitionCoversEveryOpOnceConcurrent) {
+  TraceConfig config;
+  config.operations = 10000;
+  config.key_space = 100000;
+  config.lookup_pct = 50;
+  config.insert_pct = 50;
+  config.update_pct = 0;
+  config.remove_pct = 0;
+  const Trace trace = Trace::Generate(config);
+
+  BTree<uint64_t, uint64_t, BTreeCouplingPolicy<McsRwLock>> tree;
+  ReplayOptions options;
+  options.threads = 3;  // Not a power of two: catches modulo slips.
+  options.partition_by_key = true;
+  const ReplayResult result = ReplayTrace(tree, trace, options);
+  EXPECT_EQ(result.TotalOps(), trace.size());
+  EXPECT_EQ(tree.Size(), result.insert_ok);
+
+  // Both partitionings agree with the single-threaded result on the
+  // deterministic totals (wide keyspace: insert successes don't race).
+  BTree<uint64_t, uint64_t, BTreeCouplingPolicy<McsRwLock>> serial;
+  const ReplayResult expect = ReplayTrace(serial, trace, /*threads=*/1);
+  EXPECT_EQ(result.insert_ok, expect.insert_ok);
+  EXPECT_EQ(result.lookups, expect.lookups);
+  tree.CheckInvariants();
+}
+
 TEST(TraceReplayTest, MultithreadedArtReplayTreatsScansAsLookups) {
   TraceConfig config;
   config.operations = 4000;
