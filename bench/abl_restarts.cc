@@ -1,9 +1,13 @@
 // Ablation: wasted work under contention, quantified. The centralized
 // optimistic protocol aborts and re-traverses from the root whenever an
 // upgrade CAS or a validation fails; OptiQL's adapted protocol (Algorithm
-// 4) queues on the leaf instead. This bench reports *restarts per
-// completed operation* for both protocols across contention levels —
-// the CAS-retry-storm mechanism behind Figure 1/9, made visible.
+// 4) queues on the leaf instead, and the in-place update variants (ISSUE 6)
+// avoid invalidating readers altogether for point updates of existing
+// keys. This bench reports *restarts per completed operation* for all of
+// them across contention levels — the CAS-retry-storm mechanism behind
+// Figure 1/9, made visible. This is the evaluation harness for the
+// adaptive/in-place work; pair with `ext_adaptive --json` for the
+// machine-readable sweep.
 #include "index_bench_common.h"
 
 namespace optiql {
@@ -11,12 +15,13 @@ namespace {
 
 template <class Tree>
 void RunRow(const BenchFlags& flags, const char* name,
-            IndexWorkload::Distribution dist, TablePrinter& table) {
+            IndexWorkload::Distribution dist, int lookup_pct, int update_pct,
+            TablePrinter& table) {
   auto tree = std::make_unique<Tree>();
   IndexWorkload workload;
   workload.records = flags.records;
-  workload.lookup_pct = 20;
-  workload.update_pct = 80;
+  workload.lookup_pct = lookup_pct;
+  workload.update_pct = update_pct;
   workload.distribution = dist;
   workload.skew = 0.2;
   workload.duration_ms = flags.duration_ms;
@@ -42,14 +47,22 @@ void RunRow(const BenchFlags& flags, const char* name,
 }
 
 void RunCase(const BenchFlags& flags, IndexWorkload::Distribution dist,
-             const char* title) {
-  std::printf("-- %s (write-heavy: 20%% lookup / 80%% update) --\n", title);
-  std::vector<std::string> header = {"lock \\ threads (Mops/s / restarts-per-1k-ops)"};
+             int lookup_pct, int update_pct, const char* title) {
+  std::printf("-- %s (%d%% lookup / %d%% update) --\n", title, lookup_pct,
+              update_pct);
+  std::vector<std::string> header = {
+      "lock \\ threads (Mops/s / restarts-per-1k-ops)"};
   for (int t : flags.threads) header.push_back(std::to_string(t));
   TablePrinter table(std::move(header));
-  RunRow<BTreeOptLock>(flags, "OptLock", dist, table);
-  RunRow<BTreeOptiQlNor>(flags, "OptiQL-NOR", dist, table);
-  RunRow<BTreeOptiQl>(flags, "OptiQL", dist, table);
+  RunRow<BTreeOptLock>(flags, "OptLock", dist, lookup_pct, update_pct,
+                       table);
+  RunRow<BTreeOptLockIp>(flags, "OptLock-InPlace", dist, lookup_pct,
+                         update_pct, table);
+  RunRow<BTreeOptiQlNor>(flags, "OptiQL-NOR", dist, lookup_pct, update_pct,
+                         table);
+  RunRow<BTreeOptiQl>(flags, "OptiQL", dist, lookup_pct, update_pct, table);
+  RunRow<BTreeOptiQlIp>(flags, "OptiQL-InPlace", dist, lookup_pct,
+                        update_pct, table);
   table.Print();
   std::printf("\n");
 }
@@ -62,11 +75,13 @@ int main(int argc, char** argv) {
   const BenchFlags flags = BenchFlags::Parse(argc, argv);
   PrintBanner("Ablation: protocol restarts per operation",
               "mechanism behind paper Figs. 1/9 — OLC abort-and-retry vs "
-              "OptiQL's queue-on-leaf",
+              "OptiQL's queue-on-leaf vs latch-free in-place updates",
               flags);
-  RunCase(flags, IndexWorkload::Distribution::kUniform,
+  RunCase(flags, IndexWorkload::Distribution::kUniform, 20, 80,
           "Low contention: uniform");
-  RunCase(flags, IndexWorkload::Distribution::kSelfSimilar,
+  RunCase(flags, IndexWorkload::Distribution::kSelfSimilar, 20, 80,
           "High contention: self-similar 0.2");
+  RunCase(flags, IndexWorkload::Distribution::kSelfSimilar, 90, 10,
+          "Read-mostly hot set: self-similar 0.2");
   return 0;
 }

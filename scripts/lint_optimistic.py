@@ -30,6 +30,15 @@ them:
                         an EpochGuard, directly or via a same-file callee,
                         or take one from the caller — otherwise a
                         concurrent Retire can reclaim a node mid-descent.
+  R5 version-dataflow   The version variable handed to a validation
+                        (ReleaseSh / Validate / TryUpgrade) must be one a
+                        matching acquire (AcquireSh / ReadLockOrRestart /
+                        ReadLockNode) actually filled, or a plain copy of
+                        one (`pv = v;` descent handover). Validating a
+                        never-filled or stale word compares against
+                        garbage and silently disables the protocol.
+                        Compound-expression arguments are conservatively
+                        skipped; only plain identifiers are checked.
 
 Engines:
   --engine=lexical (default) needs only the Python stdlib: functions are
@@ -56,7 +65,7 @@ import re
 import sys
 
 RULES = ("validate-on-exit", "no-store-in-read-section", "raw-delete",
-         "epoch-guard")
+         "epoch-guard", "version-dataflow")
 
 # Lock-implementation layer: the protocol primitives themselves. Their
 # bodies *are* the open/validate operations, so the usage rules do not
@@ -99,6 +108,27 @@ FREE_CALL_RE = re.compile(
     r"(?<![.\w>])(?:DeleteNode|FreeLeaf|FreeSubtree)\s*\(")
 DELETER_NAME_RE = re.compile(r"^(~\w+|Free\w*|Delete\w*|Destroy\w*|Clear\w*)$")
 RETIRE_CALL_RE = re.compile(r"(?<![:\w])Retire\w*\s*(<[^<>]*>)?\s*\(")
+
+# R5: acquires that *fill* a version variable (capture group = the
+# variable) and validations that *use* one. Each use's argument must be a
+# plain identifier that some fill produced — directly or through `dst =
+# src;` copies. Arguments with nested calls or member accesses fail the
+# identifier shape and are skipped (conservative: R5 never guesses).
+VERSION_FILL_RES = (
+    re.compile(r"(?:\.|->)AcquireSh\s*\(\s*&?\s*(\w+)\s*\)"),
+    re.compile(r"(?<![:\w])(?:ReadLockOrRestart|ReadLockNode)\s*"
+               r"\((?:[^()]|\([^()]*\))*?,\s*&?\s*(\w+)\s*\)"),
+)
+VERSION_USE_RES = (
+    re.compile(r"(?:\.|->)ReleaseSh\s*\(\s*(\w+)\s*\)"),
+    re.compile(r"(?:\.|->)TryUpgrade\w*\s*\(\s*(\w+)\s*[,)]"),
+    re.compile(r"(?<![:\w.>])Validate\w*\s*"
+               r"\((?:[^()]|\([^()]*\))*?,\s*(\w+)\s*\)"),
+)
+# One `dst = src` per statement chunk, anchored at the chunk's end so
+# initializers (`uint64_t pv = v`) and plain assignments both match while
+# calls and arithmetic (which end in `)` or an operator) do not.
+VERSION_ASSIGN_RE = re.compile(r"(\w+)\s*=(?![=])\s*(\w+)\s*$")
 
 # R4: public index entry points that must be epoch-protected.
 PUBLIC_OP_RE = re.compile(
@@ -354,6 +384,60 @@ def check_function_rules(path, func, allow, findings):
                 "line %d still unvalidated" % open_line))
 
 
+def check_version_dataflow(path, func, allow, findings):
+    """R5 over one function body (flow-insensitive fill/copy tracking).
+
+    The tracked set starts as every word in the function head — a version
+    passed in as a parameter was filled by the caller's acquire — plus
+    every variable an in-body acquire fills, then closes over `dst = src`
+    copies to a fixpoint (the descent handover idiom `pv = v; v = cv;`).
+    A validation whose argument is a plain identifier outside that set is
+    validating a word no acquire ever produced.
+    """
+    if HELPER_NAME_RE.match(func.name or ""):
+        return
+    uses = []
+    for use_re in VERSION_USE_RES:
+        for m in use_re.finditer(func.body):
+            uses.append((m.start(1), m.group(1)))
+    if not uses:
+        return
+    tracked = set(re.findall(r"\w+", func.head))
+    for fill_re in VERSION_FILL_RES:
+        for m in fill_re.finditer(func.body):
+            tracked.add(m.group(1))
+    assigns = []
+    for _off, stmt in iter_statements(func.body):
+        m = VERSION_ASSIGN_RE.search(stmt)
+        if not m:
+            continue
+        # Member stores (`p->v = x`) and member sources (`x = p.v`) are
+        # not plain-identifier copies; skip both sides.
+        if m.start(1) > 0 and stmt[m.start(1) - 1] in ".>:":
+            continue
+        if stmt[m.start(2) - 1] in ".>:&":
+            continue
+        assigns.append((m.group(1), m.group(2)))
+    changed = True
+    while changed:
+        changed = False
+        for dst, src in assigns:
+            if src in tracked and dst not in tracked:
+                tracked.add(dst)
+                changed = True
+    for off, var in uses:
+        if var in tracked or var[0].isdigit():
+            continue
+        line = func.body_line_of(off)
+        if allow.suppressed(line, "version-dataflow"):
+            continue
+        findings.append(Finding(
+            path, line, "version-dataflow",
+            "version variable '%s' passed to a validation was never "
+            "filled by a matching acquire (AcquireSh/ReadLockOrRestart/"
+            "ReadLockNode) nor copied from one" % var))
+
+
 def retire_spans(body):
     """Extents of Retire(...) argument lists (deleters inside are legal)."""
     spans = []
@@ -444,6 +528,7 @@ def lint_text(path, raw_text):
         for func in functions:
             check_function_rules(path, func, allow, findings)
             check_raw_delete(path, func, allow, findings)
+            check_version_dataflow(path, func, allow, findings)
         check_epoch_guard(path, functions, allow, findings)
     todos = [Finding(path, ln, rule, reason, todo=True)
              for ln, rule, reason in allow.todos]
@@ -509,6 +594,7 @@ def lint_file_clang(path, compile_db_dir):
         for func in functions:
             check_function_rules(path, func, allow, findings)
             check_raw_delete(path, func, allow, findings)
+            check_version_dataflow(path, func, allow, findings)
         check_epoch_guard(path, functions, allow, findings)
     todos = [Finding(path, ln, rule, reason, todo=True)
              for ln, rule, reason in allow.todos]

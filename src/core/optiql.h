@@ -42,6 +42,7 @@
 #include "common/check.h"
 #include "common/platform.h"
 #include "qnode/qnode_pool.h"
+#include "sync/lock_telemetry.h"
 
 namespace optiql {
 
@@ -72,7 +73,11 @@ class BasicOptiQL {
 
   bool AcquireSh(uint64_t& v) const {
     v = word_.load(std::memory_order_acquire);
-    return (v & kStatusMask) != kLockedBit && (v & kObsoleteBit) == 0;
+    if ((v & kStatusMask) == kLockedBit || (v & kObsoleteBit) != 0) {
+      LockTelemetry::Count(LockTelemetry::kOptimisticRestart);
+      return false;
+    }
+    return true;
   }
 
   bool ReleaseSh(uint64_t v) const {
@@ -80,7 +85,11 @@ class BasicOptiQL {
     // validating load, then require the *entire word* (status + requester
     // ID + version) to be unchanged.
     std::atomic_thread_fence(std::memory_order_acquire);
-    return word_.load(std::memory_order_relaxed) == v;
+    if (word_.load(std::memory_order_relaxed) != v) {
+      LockTelemetry::Count(LockTelemetry::kOptimisticRestart);
+      return false;
+    }
+    return true;
   }
 
   // --- Exclusive writer interface (Algorithm 3) ---
@@ -114,6 +123,7 @@ class BasicOptiQL {
       return;
     }
     // Line up behind the latest requester and spin on our own node.
+    LockTelemetry::Count(LockTelemetry::kExclusiveWait);
     QNode* pred_node =
         Pool().ToPtr(static_cast<uint32_t>((pred & kIdMask) >> kIdShift));
     qnode->aux.store(kGrantedByHandover, std::memory_order_relaxed);
@@ -188,6 +198,48 @@ class BasicOptiQL {
     }
     // Grant the successor by handing it its version (Figure 4f).
     next->version.store(NextVersion(my_version), std::memory_order_release);
+  }
+
+  // Releases exclusive mode without bumping the version, republishing the
+  // pre-acquisition snapshot. Only legal when the critical section modified
+  // nothing (the latch-free in-place update path publishes the value with a
+  // single atomic store instead): overlapping optimistic readers — and the
+  // releasing writer's own pre-upgrade snapshot — stay valid. When a
+  // successor is queued (or races in), falls back to a normal handover
+  // release; the bump is harmless there because the successor is a writer
+  // and will bump the version itself.
+  void ReleaseExNoBump(QNode* qnode) {
+    OPTIQL_INVARIANT(
+        (word_.load(std::memory_order_relaxed) & kLockedBit) != 0,
+        "OptiQL ReleaseExNoBump but the word is not LOCKED "
+        "(double release?)");
+    const uint64_t my_version =
+        qnode->version.load(std::memory_order_relaxed);
+    OPTIQL_INVARIANT(my_version != QNode::kInvalidVersion,
+                     "OptiQL ReleaseExNoBump before the grant completed");
+    OPTIQL_INVARIANT((my_version & kObsoleteBit) == 0,
+                     "OptiQL ReleaseExNoBump on a retiring node: retirement "
+                     "must bump (use ReleaseExObsolete)");
+    if (qnode->next.load(std::memory_order_acquire) == nullptr) {
+      const uint64_t self =
+          kLockedBit |
+          (static_cast<uint64_t>(Pool().ToId(qnode)) << kIdShift);
+      // Our granted version is NextVersion(snapshot); republish the
+      // snapshot itself (modular -1), exactly as the word stood before
+      // TryUpgrade/AcquireEx succeeded. A free word carries pure version
+      // bits, so the restored word is byte-identical to the snapshot.
+      const uint64_t prev = (my_version + kVersionMask) & kVersionMask;
+      uint64_t expected = self;
+      if (word_.compare_exchange_strong(expected, prev,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+        qnode->DbgTransition(QNode::kDbgQueued, QNode::kDbgIdle,
+                             "OptiQL ReleaseExNoBump with a node that is "
+                             "not enqueued (double release?)");
+        return;
+      }
+    }
+    ReleaseEx(qnode);
   }
 
   // Releases exclusive mode and retires the protected object: once the

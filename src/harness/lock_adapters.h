@@ -27,6 +27,7 @@
 #include "locks/tts_lock.h"
 #include "locks/ticket_lock.h"
 #include "qnode/qnode_pool.h"
+#include "sync/lock_telemetry.h"
 
 namespace optiql {
 
@@ -232,6 +233,33 @@ struct LockOps<HybridLock> {
   template <class F>
   static bool ReadCritical(HybridLock& lock, Ctx&, F&& f) {
     lock.ReadCriticalHybrid(static_cast<F&&>(f));
+    return true;
+  }
+};
+
+template <>
+struct LockOps<AdaptiveHybridLock> {
+  static constexpr const char* kName = "Hybrid-Adaptive";
+  static constexpr bool kHasSharedMode = true;
+  // Reads converge to whatever mode the node needs; they never fail.
+  static constexpr bool kOptimistic = false;
+
+  struct Ctx {
+    QNode* qnode = ThreadQNodes::Get(0);
+    bool via_gate = false;  // Did the last AcquireEx go through the gate?
+  };
+
+  static void AcquireEx(AdaptiveHybridLock& lock, Ctx& ctx) {
+    ctx.via_gate = lock.AcquireEx(ctx.qnode);
+  }
+  static void ReleaseEx(AdaptiveHybridLock& lock, Ctx& ctx) {
+    lock.ReleaseEx(ctx.qnode, ctx.via_gate);
+    ctx.via_gate = false;
+  }
+
+  template <class F>
+  static bool ReadCritical(AdaptiveHybridLock& lock, Ctx&, F&& f) {
+    lock.ReadCritical(static_cast<F&&>(f));
     return true;
   }
 };

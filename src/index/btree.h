@@ -42,6 +42,7 @@
 #include <atomic>
 #include <cstdint>
 #include <cstring>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -56,6 +57,7 @@
 #include "locks/shared_mutex_lock.h"
 #include "qnode/qnode_pool.h"
 #include "sync/epoch.h"
+#include "sync/lock_telemetry.h"
 
 namespace optiql {
 
@@ -64,6 +66,7 @@ enum class BTreeProtocol { kOlc, kOptiQl, kCoupling };
 struct BTreeOlcPolicy {
   static constexpr BTreeProtocol kProtocol = BTreeProtocol::kOlc;
   static constexpr bool kAdjustableOpRead = false;
+  static constexpr bool kInPlaceUpdates = false;
   using InnerLock = OptLock;
   using LeafLock = OptLock;
 };
@@ -72,6 +75,7 @@ template <class QlLock, bool kAor = false>
 struct BTreeOptiQlPolicy {
   static constexpr BTreeProtocol kProtocol = BTreeProtocol::kOptiQl;
   static constexpr bool kAdjustableOpRead = kAor;
+  static constexpr bool kInPlaceUpdates = false;
   using InnerLock = OptLock;
   using LeafLock = QlLock;
 };
@@ -80,8 +84,25 @@ template <class RwLock>
 struct BTreeCouplingPolicy {
   static constexpr BTreeProtocol kProtocol = BTreeProtocol::kCoupling;
   static constexpr bool kAdjustableOpRead = false;
+  static constexpr bool kInPlaceUpdates = false;
   using InnerLock = RwLock;
   using LeafLock = RwLock;
+};
+
+// FB+-tree-style latch-free leaf value updates (see PAPERS.md): an Update/
+// Upsert of an *existing* key publishes the new value with one atomic store
+// instead of an exclusive leaf critical section, so concurrent optimistic
+// readers of the leaf never restart. Structural needs (insert, remove,
+// split) and validation failures fall back to the locked path unchanged.
+// Opt-in per policy: range scans over an in-place tree get per-slot instead
+// of per-range atomicity for racing value overwrites (DESIGN.md §10).
+struct BTreeOlcInPlacePolicy : BTreeOlcPolicy {
+  static constexpr bool kInPlaceUpdates = true;
+};
+
+template <class QlLock, bool kAor = false>
+struct BTreeOptiQlInPlacePolicy : BTreeOptiQlPolicy<QlLock, kAor> {
+  static constexpr bool kInPlaceUpdates = true;
 };
 
 template <class Key, class Value, class SyncPolicy = BTreeOlcPolicy,
@@ -90,8 +111,21 @@ class BTree {
  public:
   static constexpr BTreeProtocol kProtocol = SyncPolicy::kProtocol;
   static constexpr bool kAor = SyncPolicy::kAdjustableOpRead;
+  static constexpr bool kInPlaceUpdates = SyncPolicy::kInPlaceUpdates;
   using InnerLock = typename SyncPolicy::InnerLock;
   using LeafLock = typename SyncPolicy::LeafLock;
+
+  // In-place publication stores the value through std::atomic_ref while
+  // readers copy it unsynchronized-then-validate, so the value must be a
+  // single machine word; and the coupling protocol has no versioned leaf
+  // lock to validate against.
+  static_assert(!kInPlaceUpdates || kProtocol != BTreeProtocol::kCoupling,
+                "in-place updates require a versioned (optimistic) leaf lock");
+  static_assert(!kInPlaceUpdates ||
+                    (std::is_trivially_copyable_v<Value> &&
+                     sizeof(Value) <= 8 && alignof(Value) >= sizeof(Value)),
+                "in-place updates publish the value with one atomic store; "
+                "the value type must be one aligned machine word");
 
   BTree() { root_.store(new Leaf(), std::memory_order_release); }
 
@@ -287,6 +321,10 @@ class BTree {
   }
 
  private:
+  // Test peer for the checked-invariant build: drives PublishSplit with
+  // deliberately wrong lock states (tests/invariant_death_test.cc).
+  friend struct BTreeTestPeer;
+
   // Accumulates (attempts - 1) restarts into a stats counter on scope exit.
   class RestartCounter {
    public:
@@ -431,6 +469,15 @@ class BTree {
   static bool IsLeaf(const NodeBase* node) { return node->level == 0; }
   static Leaf* AsLeaf(NodeBase* node) { return static_cast<Leaf*>(node); }
   static Inner* AsInner(NodeBase* node) { return static_cast<Inner*>(node); }
+
+  // Invariant support: exclusive-lock introspection across the leaf/inner
+  // lock types. Only instantiated for versioned protocols (the coupling
+  // branch of PublishSplit is `if constexpr`-discarded, and McsRwLock has
+  // no IsLockedEx).
+  static bool NodeIsLockedEx(NodeBase* node) {
+    return IsLeaf(node) ? AsLeaf(node)->lock.IsLockedEx()
+                        : AsInner(node)->lock.IsLockedEx();
+  }
   static const Leaf* AsLeaf(const NodeBase* node) {
     return static_cast<const Leaf*>(node);
   }
@@ -810,6 +857,19 @@ class BTree {
       if (restart) continue;
 
       bool result = false;
+      if constexpr (kInPlaceUpdates) {
+        // Latch-free point update: for an existing key, publish the value
+        // with one atomic store under a version-preserving micro-window, so
+        // overlapping optimistic readers never restart. Falls back to the
+        // locked path for misses needing insertion and lost races.
+        if (kind == WriteKind::kUpdate || kind == WriteKind::kUpsert) {
+          const InPlaceStatus ip =
+              LeafUpdateInPlace(AsLeaf(node), v, key, value, kind, &result);
+          if (ip == InPlaceStatus::kDone) return result;
+          if (ip == InPlaceStatus::kRestart) continue;
+          // kFallback: take the locked leaf path below.
+        }
+      }
       LeafWriteStatus status;
       if constexpr (kProtocol == BTreeProtocol::kOptiQl) {
         status = LeafWriteOptiQl(AsLeaf(node), parent, pv, parent_is_root,
@@ -824,6 +884,70 @@ class BTree {
   }
 
   enum class LeafWriteStatus { kDone, kRestart };
+
+  enum class InPlaceStatus { kDone, kRestart, kFallback };
+
+  // Latch-free leaf value overwrite (FB+-tree style, ISSUE 6 tentpole (b)).
+  //
+  // Soundness: a pure store-then-validate scheme is unsound here, because a
+  // concurrent locked writer can shift slots between our validated search
+  // and our store, landing the store in a *different* key's slot (validation
+  // would detect but not undo the corruption). Instead the store is
+  // published under a version-preserving micro-window:
+  //
+  //   1. search the leaf optimistically, then Validate(v) — pos is the
+  //      key's slot as of version v;
+  //   2. TryUpgrade(v): success proves the word never changed since the
+  //      snapshot, so no writer intervened and pos is still the slot;
+  //   3. one atomic release-store of the 8-byte value;
+  //   4. ReleaseExNoBump: the word returns to exactly v.
+  //
+  // Because the version is preserved, optimistic readers overlapping the
+  // update never restart — from the reader side the update is latch-free;
+  // they observe either the old or the new value atomically. No key,
+  // count, or structure changes, so concurrent writers' validated searches
+  // stay correct, and any structural writer bumps the version, which makes
+  // our TryUpgrade fail and routes us to the locked path.
+  InPlaceStatus LeafUpdateInPlace(Leaf* leaf, uint64_t v, const Key& key,
+                                  const Value* value, WriteKind kind,
+                                  bool* result) {
+    const uint16_t n = LoadCount(leaf, kLeafMax);
+    const uint16_t pos = leaf->LowerBound(key, n);
+    const bool exists = pos < n && leaf->keys[pos] == key;
+    if (!Validate(leaf->lock, v)) return InPlaceStatus::kRestart;
+    if (!exists) {
+      if (kind == WriteKind::kUpdate) {
+        // Validated miss: the key is genuinely absent at version v.
+        *result = false;
+        return InPlaceStatus::kDone;
+      }
+      // Upsert of a missing key needs an insertion: structural, locked path.
+      return InPlaceStatus::kFallback;
+    }
+    if constexpr (kProtocol == BTreeProtocol::kOptiQl) {
+      QNode* qnode = ThreadQNodes::Get(0);
+      if (!leaf->lock.TryUpgrade(v, qnode)) {
+        // Lost the race (writer queued, or an OPREAD window is open): the
+        // locked path will line up in the queue instead of spinning here.
+        LockTelemetry::Count(LockTelemetry::kInPlaceFallback);
+        return InPlaceStatus::kFallback;
+      }
+      std::atomic_ref<Value>(leaf->values[pos])
+          .store(*value, std::memory_order_release);
+      leaf->lock.ReleaseExNoBump(qnode);
+    } else {
+      if (!leaf->lock.TryUpgrade(v)) {
+        LockTelemetry::Count(LockTelemetry::kInPlaceFallback);
+        return InPlaceStatus::kFallback;
+      }
+      std::atomic_ref<Value>(leaf->values[pos])
+          .store(*value, std::memory_order_release);
+      leaf->lock.ReleaseExNoBump();
+    }
+    LockTelemetry::Count(LockTelemetry::kInPlaceUpdate);
+    *result = true;
+    return InPlaceStatus::kDone;
+  }
 
   static constexpr bool NeedsSplitForWrite(WriteKind kind) {
     return kind == WriteKind::kInsert || kind == WriteKind::kUpsert;
@@ -880,6 +1004,21 @@ class BTree {
   // exclusively and has verified root identity when parent is null.
   void PublishSplit(Inner* parent, NodeBase* left, NodeBase* right,
                     const Key& separator) {
+    if constexpr (kProtocol != BTreeProtocol::kCoupling) {
+      // SMO ordering: a split becomes visible to optimistic readers the
+      // moment the separator lands in the parent, so both the parent and
+      // the (half-emptied) left node must already be exclusively locked —
+      // publishing first and locking after would expose a torn split.
+      // (The coupling protocol's reader-writer locks carry no IsLockedEx;
+      // its discipline is enforced by thread-safety analysis instead.)
+      OPTIQL_INVARIANT(
+          parent == nullptr || parent->lock.IsLockedEx(),
+          "B+-tree SMO ordering: split published into an unlocked parent");
+      OPTIQL_INVARIANT(
+          NodeIsLockedEx(left),
+          "B+-tree SMO ordering: split published while the left half is "
+          "not exclusively locked");
+    }
     if (parent != nullptr) {
       parent->InsertAt(parent->ChildIndex(separator, parent->count),
                        separator, right);

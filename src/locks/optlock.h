@@ -16,6 +16,7 @@
 #include "common/annotations.h"
 #include "common/backoff.h"
 #include "common/check.h"
+#include "sync/lock_telemetry.h"
 
 namespace optiql {
 
@@ -40,7 +41,11 @@ class OPTIQL_CAPABILITY("mutex") BasicOptLock {
   // and reports whether the caller may proceed. No shared-memory write.
   bool AcquireSh(uint64_t& v) const {
     v = word_.load(std::memory_order_acquire);
-    return (v & (kLockedBit | kObsoleteBit)) == 0;
+    if ((v & (kLockedBit | kObsoleteBit)) != 0) {
+      LockTelemetry::Count(LockTelemetry::kOptimisticRestart);
+      return false;
+    }
+    return true;
   }
 
   // Validates that the protected data did not change since AcquireSh
@@ -48,16 +53,26 @@ class OPTIQL_CAPABILITY("mutex") BasicOptLock {
   // before the validating load (seqlock validation idiom).
   bool ReleaseSh(uint64_t v) const {
     std::atomic_thread_fence(std::memory_order_acquire);
-    return word_.load(std::memory_order_relaxed) == v;
+    if (word_.load(std::memory_order_relaxed) != v) {
+      LockTelemetry::Count(LockTelemetry::kOptimisticRestart);
+      return false;
+    }
+    return true;
   }
 
   // --- Exclusive writer interface ---
 
   void AcquireEx() OPTIQL_ACQUIRE() {
     BackoffPolicy backoff;
+    bool waited = false;
     while (true) {
       uint64_t v = word_.load(std::memory_order_relaxed);
       if ((v & kLockedBit) == 0 && TryAcquireExFrom(v)) return;
+      if (!waited) {
+        // Once per contended acquisition, not per spin iteration.
+        waited = true;
+        LockTelemetry::Count(LockTelemetry::kExclusiveWait);
+      }
       backoff.Pause();
     }
   }

@@ -1,0 +1,195 @@
+// AdaptiveHybridLock mode-transition tests (ISSUE 6 tentpole (a)).
+//
+// The escalation arithmetic is deterministic single-threaded: a failed
+// TryAcquireEx penalizes kWaitWeight (4), a failed validation penalizes
+// kRestartWeight (2), a drained gate release credits exactly 1. The tests
+// walk the state machine along exact scores:
+//
+//   optimistic ──≥16──► pessimistic-read ──≥48──► queued
+//   optimistic ◄──≤8── pessimistic-read ◄──≤24── queued
+//
+// and then stress the mixed-mode writer/reader interleavings (racy by
+// design: the suite name matches the *Hybrid* TSan exclusion glob).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "locks/hybrid_lock.h"
+#include "qnode/qnode_pool.h"
+
+namespace optiql {
+namespace {
+
+using Mode = AdaptiveHybridLock::Mode;
+
+TEST(AdaptiveHybridLockTest, OptimisticFastPathStaysOptimistic) {
+  AdaptiveHybridLock lock;
+  uint64_t value = 41;
+  uint64_t got = 0;
+  // false = served optimistically.
+  EXPECT_FALSE(lock.ReadCritical([&] { got = value; }));
+  EXPECT_EQ(got, 41u);
+
+  QNodeGuard guard;
+  // false = no gate: an uncontended writer never touches the MCS queue.
+  EXPECT_FALSE(lock.AcquireEx(guard.node()));
+  value = 42;
+  lock.ReleaseEx(guard.node(), /*via_gate=*/false);
+
+  EXPECT_FALSE(lock.ReadCritical([&] { got = value; }));
+  EXPECT_EQ(got, 42u);
+  EXPECT_EQ(lock.CurrentMode(), Mode::kOptimistic);
+  EXPECT_EQ(lock.ContentionScore(), 0u);
+  EXPECT_FALSE(lock.IsLockedEx());
+}
+
+TEST(AdaptiveHybridLockTest, WriterCollisionsEscalateDeterministically) {
+  AdaptiveHybridLock lock;
+  ASSERT_TRUE(lock.TryAcquireEx());  // Hold the word so probes collide.
+
+  // 4 collisions x kWaitWeight(4) = 16 = kPromotePessimistic.
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(lock.TryAcquireEx());
+  EXPECT_EQ(lock.CurrentMode(), Mode::kPessimisticRead);
+  EXPECT_EQ(lock.ContentionScore(), AdaptiveHybridLock::kPromotePessimistic);
+
+  // 8 more -> 48 = kPromoteQueued.
+  for (int i = 0; i < 8; ++i) EXPECT_FALSE(lock.TryAcquireEx());
+  EXPECT_EQ(lock.CurrentMode(), Mode::kQueued);
+  EXPECT_EQ(lock.ContentionScore(), AdaptiveHybridLock::kPromoteQueued);
+
+  lock.ReleaseEx();
+  EXPECT_FALSE(lock.IsLockedEx());
+}
+
+TEST(AdaptiveHybridLockTest, RestartStormEscalatesReadsToPessimistic) {
+  AdaptiveHybridLock lock;
+  uint64_t value = 0;
+  int calls = 0;
+  // The read body bumps the version itself while the node is optimistic,
+  // so every optimistic attempt fails validation (+kRestartWeight each).
+  // 8 failed validations x 2 = 16 crosses kPromotePessimistic; with 4
+  // attempts per ReadCritical that is exactly 2 calls.
+  while (lock.CurrentMode() == Mode::kOptimistic && calls < 64) {
+    ++calls;
+    lock.ReadCritical([&] {
+      if (lock.CurrentMode() == Mode::kOptimistic && lock.TryAcquireEx()) {
+        ++value;
+        lock.ReleaseEx();
+      }
+    });
+  }
+  EXPECT_EQ(lock.CurrentMode(), Mode::kPessimisticRead);
+  EXPECT_LE(calls, 3);
+
+  // Pessimistic reads now succeed first try (true = fallback path) and no
+  // longer pay restart storms.
+  uint64_t got = 0;
+  value = 7;
+  EXPECT_TRUE(lock.ReadCritical([&] { got = value; }));
+  EXPECT_EQ(got, 7u);
+  EXPECT_EQ(lock.SharedCount(), 0u);
+}
+
+TEST(AdaptiveHybridLockTest, DrainDemotesWithHysteresis) {
+  AdaptiveHybridLock lock;
+  ASSERT_TRUE(lock.TryAcquireEx());
+  for (int i = 0; i < 12; ++i) EXPECT_FALSE(lock.TryAcquireEx());
+  lock.ReleaseEx();
+  ASSERT_EQ(lock.CurrentMode(), Mode::kQueued);
+  ASSERT_EQ(lock.ContentionScore(), 48u);
+
+  QNodeGuard guard;
+  // Hysteresis window: each drained gate release credits exactly 1, and
+  // the node must STAY queued while 24 < score < 48 — the demote point
+  // sits far below the promote point so a borderline node does not flap.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(lock.AcquireEx(guard.node()));  // true = via the gate.
+    lock.ReleaseEx(guard.node(), /*via_gate=*/true);
+  }
+  EXPECT_EQ(lock.CurrentMode(), Mode::kQueued);
+  EXPECT_EQ(lock.ContentionScore(), 38u);
+
+  // 14 more clean gate writes reach kDemoteQueued(24): one level down.
+  for (int i = 0; i < 14; ++i) {
+    ASSERT_TRUE(lock.AcquireEx(guard.node()));
+    lock.ReleaseEx(guard.node(), /*via_gate=*/true);
+  }
+  EXPECT_EQ(lock.CurrentMode(), Mode::kPessimisticRead);
+  EXPECT_EQ(lock.ContentionScore(), AdaptiveHybridLock::kDemoteQueued);
+
+  // Clean reads (credits sampled 1-in-8) drain the rest: the node must
+  // convert back to optimistic once the score reaches kDemoteOptimistic.
+  uint64_t value = 9;
+  uint64_t got = 0;
+  for (int i = 0; i < 2000 && lock.CurrentMode() != Mode::kOptimistic;
+       ++i) {
+    lock.ReadCritical([&] { got = value; });
+  }
+  EXPECT_EQ(lock.CurrentMode(), Mode::kOptimistic);
+  EXPECT_EQ(lock.ContentionScore(), AdaptiveHybridLock::kDemoteOptimistic);
+  EXPECT_EQ(got, 9u);
+
+  // Contention drained: reads are optimistic again end to end.
+  EXPECT_FALSE(lock.ReadCritical([&] { got = value; }));
+  EXPECT_FALSE(lock.IsLockedEx());
+  EXPECT_EQ(lock.SharedCount(), 0u);
+}
+
+TEST(AdaptiveHybridLockTest, MixedModeStressInvariant) {
+  AdaptiveHybridLock lock;
+  uint64_t x = 0;
+  uint64_t y = 0;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> torn{false};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        uint64_t a = 0;
+        uint64_t b = 0;
+        lock.ReadCritical([&] {
+          a = x;
+          b = y;
+        });
+        // x and y only ever change together under the exclusive lock, so
+        // a validated (or pessimistic) read must never see them apart —
+        // regardless of which mode the lock was in when the read ran.
+        if (a != b) torn.store(true, std::memory_order_release);
+      }
+    });
+  }
+
+  constexpr int kWriters = 2;
+  constexpr int kWritesPerWriter = 4000;
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&] {
+      QNodeGuard guard;
+      for (int i = 0; i < kWritesPerWriter; ++i) {
+        const bool via_gate = lock.AcquireEx(guard.node());
+        ++x;
+        for (int spin = 0; spin < 32; ++spin) {
+          asm volatile("" ::: "memory");
+        }
+        ++y;
+        lock.ReleaseEx(guard.node(), via_gate);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+
+  EXPECT_FALSE(torn.load(std::memory_order_acquire));
+  EXPECT_EQ(x, static_cast<uint64_t>(kWriters) * kWritesPerWriter);
+  EXPECT_EQ(y, static_cast<uint64_t>(kWriters) * kWritesPerWriter);
+  EXPECT_FALSE(lock.IsLockedEx());
+  EXPECT_EQ(lock.SharedCount(), 0u);
+}
+
+}  // namespace
+}  // namespace optiql

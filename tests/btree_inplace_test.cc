@@ -1,0 +1,251 @@
+// Latch-free in-place leaf updates (ISSUE 6 tentpole (b)): differential
+// coverage of BTree*InPlacePolicy against std::map, against the locked
+// update path, and under concurrent readers. The suites are named to
+// match the TSan exclusion globs (*Olc* / *OptiQl*): the optimistic read
+// side races by design and discards torn snapshots via validation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "index/btree.h"
+
+namespace optiql {
+namespace {
+
+using OlcIpTree = BTree<uint64_t, uint64_t, BTreeOlcInPlacePolicy>;
+using OptiQlIpTree = BTree<uint64_t, uint64_t, BTreeOptiQlInPlacePolicy<OptiQL>>;
+using OlcBaseTree = BTree<uint64_t, uint64_t, BTreeOlcPolicy>;
+using OptiQlBaseTree = BTree<uint64_t, uint64_t, BTreeOptiQlPolicy<OptiQL>>;
+
+// Mixed single-threaded workload mirrored into std::map: every operation's
+// result must agree, and the final contents must match pair for pair. The
+// in-place path handles the update/upsert-hit cases; inserts, removes and
+// upsert-misses route through the locked structural path — the mix keeps
+// crossing between the two.
+template <class Tree>
+void DifferentialVsStdMap() {
+  Tree tree;
+  std::map<uint64_t, uint64_t> model;
+  Xoshiro256 rng(42);
+  constexpr uint64_t kKeySpace = 4096;
+  constexpr int kOps = 20000;
+
+  for (int i = 0; i < kOps; ++i) {
+    const uint64_t key = rng.NextBounded(kKeySpace);
+    const uint64_t value = rng.Next();
+    switch (rng.NextBounded(5)) {
+      case 0: {  // Insert: wins only if absent.
+        const bool inserted = tree.Insert(key, value);
+        EXPECT_EQ(inserted, model.emplace(key, value).second);
+        break;
+      }
+      case 1: {  // Update: succeeds only if present (in-place when it does).
+        const bool updated = tree.Update(key, value);
+        const auto it = model.find(key);
+        EXPECT_EQ(updated, it != model.end());
+        if (it != model.end()) {
+          it->second = value;
+        }
+        break;
+      }
+      case 2: {  // Upsert: in-place on a hit, locked insert on a miss.
+        tree.Upsert(key, value);
+        model[key] = value;
+        break;
+      }
+      case 3: {  // Remove.
+        EXPECT_EQ(tree.Remove(key), model.erase(key) != 0);
+        break;
+      }
+      default: {  // Lookup.
+        uint64_t out = 0;
+        const bool found = tree.Lookup(key, out);
+        const auto it = model.find(key);
+        ASSERT_EQ(found, it != model.end());
+        if (found) {
+          EXPECT_EQ(out, it->second);
+        }
+        break;
+      }
+    }
+  }
+
+  EXPECT_EQ(tree.Size(), model.size());
+  std::vector<std::pair<uint64_t, uint64_t>> scanned;
+  EXPECT_EQ(tree.Scan(0, model.size() + 1, scanned), model.size());
+  auto it = model.begin();
+  for (const auto& [k, v] : scanned) {
+    ASSERT_NE(it, model.end());
+    EXPECT_EQ(k, it->first);
+    EXPECT_EQ(v, it->second);
+    ++it;
+  }
+  EXPECT_EQ(it, model.end());
+  tree.CheckInvariants();
+}
+
+TEST(BTreeInPlaceOlcTest, DifferentialVsStdMap) {
+  DifferentialVsStdMap<OlcIpTree>();
+}
+TEST(BTreeInPlaceOptiQlTest, DifferentialVsStdMap) {
+  DifferentialVsStdMap<OptiQlIpTree>();
+}
+
+// The concurrent differential against the locked path: run the same
+// deterministic-final workload — per-thread disjoint key ranges updated
+// round by round, with readers hammering the hot keys throughout — on the
+// in-place tree and on its locked-update baseline, then require identical
+// final contents. Readers check the value encoding on every hit: an
+// in-place store that landed in the wrong slot or tore would break
+// `value / kStride == key`.
+template <class IpTree, class BaseTree>
+void ConcurrentDifferentialVsLockedPath() {
+  constexpr uint64_t kKeys = 1024;
+  constexpr uint64_t kStride = 1ull << 20;
+  constexpr uint64_t kRounds = 60;
+  constexpr int kUpdaters = 2;
+
+  auto run = [&](auto& tree) {
+    for (uint64_t k = 0; k < kKeys; ++k) {
+      ASSERT_TRUE(tree.Insert(k, k * kStride));
+    }
+    std::atomic<bool> stop{false};
+    std::atomic<bool> bad{false};
+    std::vector<std::thread> readers;
+    for (int r = 0; r < 2; ++r) {
+      readers.emplace_back([&, r] {
+        Xoshiro256 rng(static_cast<uint64_t>(r) + 99);
+        while (!stop.load(std::memory_order_acquire)) {
+          const uint64_t key = rng.NextBounded(kKeys);
+          uint64_t out = 0;
+          if (!tree.Lookup(key, out) || out / kStride != key ||
+              out % kStride > kRounds) {
+            bad.store(true, std::memory_order_release);
+          }
+        }
+      });
+    }
+    std::vector<std::thread> updaters;
+    for (int u = 0; u < kUpdaters; ++u) {
+      updaters.emplace_back([&, u] {
+        const uint64_t begin = kKeys / kUpdaters * static_cast<uint64_t>(u);
+        const uint64_t end = begin + kKeys / kUpdaters;
+        for (uint64_t round = 1; round <= kRounds; ++round) {
+          for (uint64_t k = begin; k < end; ++k) {
+            ASSERT_TRUE(tree.Update(k, k * kStride + round));
+          }
+        }
+      });
+    }
+    for (auto& t : updaters) t.join();
+    stop.store(true, std::memory_order_release);
+    for (auto& t : readers) t.join();
+    EXPECT_FALSE(bad.load(std::memory_order_acquire));
+    tree.CheckInvariants();
+  };
+
+  IpTree inplace;
+  BaseTree locked;
+  run(inplace);
+  run(locked);
+
+  // Same deterministic final state on both paths.
+  std::vector<std::pair<uint64_t, uint64_t>> a;
+  std::vector<std::pair<uint64_t, uint64_t>> b;
+  EXPECT_EQ(inplace.Scan(0, kKeys + 1, a), kKeys);
+  EXPECT_EQ(locked.Scan(0, kKeys + 1, b), kKeys);
+  EXPECT_EQ(a, b);
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    EXPECT_EQ(a[k].second, k * kStride + kRounds);
+  }
+}
+
+TEST(BTreeInPlaceOlcTest, ConcurrentDifferentialVsLockedPath) {
+  ConcurrentDifferentialVsLockedPath<OlcIpTree, OlcBaseTree>();
+}
+TEST(BTreeInPlaceOptiQlTest, ConcurrentDifferentialVsLockedPath) {
+  ConcurrentDifferentialVsLockedPath<OptiQlIpTree, OptiQlBaseTree>();
+}
+
+// Upserts of missing keys must fall back to the locked insert path (an
+// insertion is structural); upserts of present keys go in place. Both
+// must leave the tree consistent.
+template <class Tree>
+void UpsertMissRoutesToLockedInsert() {
+  Tree tree;
+  constexpr uint64_t kKeys = 2000;
+  for (uint64_t k = 0; k < kKeys; k += 2) tree.Upsert(k, k);  // Misses.
+  EXPECT_EQ(tree.Size(), kKeys / 2);
+  for (uint64_t k = 0; k < kKeys; k += 2) tree.Upsert(k, k + 1);  // Hits.
+  EXPECT_EQ(tree.Size(), kKeys / 2);
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    uint64_t out = 0;
+    if (k % 2 == 0) {
+      ASSERT_TRUE(tree.Lookup(k, out));
+      EXPECT_EQ(out, k + 1);
+    } else {
+      EXPECT_FALSE(tree.Lookup(k, out));
+    }
+  }
+  tree.CheckInvariants();
+}
+
+TEST(BTreeInPlaceOlcTest, UpsertMissRoutesToLockedInsert) {
+  UpsertMissRoutesToLockedInsert<OlcIpTree>();
+}
+TEST(BTreeInPlaceOptiQlTest, UpsertMissRoutesToLockedInsert) {
+  UpsertMissRoutesToLockedInsert<OptiQlIpTree>();
+}
+
+// Updates racing inserts/removes on neighboring keys: slot positions keep
+// shifting under the in-place attempt, exercising the validation +
+// TryUpgrade fallback edges rather than the happy path.
+template <class Tree>
+void UpdatesRaceStructuralChanges() {
+  Tree tree;
+  constexpr uint64_t kStable = 512;
+  constexpr uint64_t kChurn = 512;
+  constexpr uint64_t kStride = 1ull << 20;
+  for (uint64_t k = 0; k < kStable; ++k) {
+    ASSERT_TRUE(tree.Insert(2 * k, 2 * k * kStride));  // Even keys stay.
+  }
+  std::atomic<bool> stop{false};
+  std::thread churn([&] {
+    // Odd keys interleave with the stable ones, forcing slot shifts and
+    // splits/merges in the same leaves the updater is writing in place.
+    while (!stop.load(std::memory_order_acquire)) {
+      for (uint64_t k = 0; k < kChurn; ++k) tree.Upsert(2 * k + 1, k);
+      for (uint64_t k = 0; k < kChurn; ++k) tree.Remove(2 * k + 1);
+    }
+  });
+  constexpr uint64_t kRounds = 40;
+  for (uint64_t round = 1; round <= kRounds; ++round) {
+    for (uint64_t k = 0; k < kStable; ++k) {
+      ASSERT_TRUE(tree.Update(2 * k, 2 * k * kStride + round));
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  churn.join();
+  for (uint64_t k = 0; k < kStable; ++k) {
+    uint64_t out = 0;
+    ASSERT_TRUE(tree.Lookup(2 * k, out));
+    EXPECT_EQ(out, 2 * k * kStride + kRounds);
+  }
+  tree.CheckInvariants();
+}
+
+TEST(BTreeInPlaceOlcTest, UpdatesRaceStructuralChanges) {
+  UpdatesRaceStructuralChanges<OlcIpTree>();
+}
+TEST(BTreeInPlaceOptiQlTest, UpdatesRaceStructuralChanges) {
+  UpdatesRaceStructuralChanges<OptiQlIpTree>();
+}
+
+}  // namespace
+}  // namespace optiql

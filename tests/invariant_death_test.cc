@@ -14,6 +14,7 @@
 #include "core/opticlh.h"
 #include "core/optiql.h"
 #include "gtest/gtest.h"
+#include "index/btree.h"
 #include "locks/clh_lock.h"
 #include "locks/hybrid_lock.h"
 #include "locks/mcs_lock.h"
@@ -24,6 +25,31 @@
 #include "qnode/qnode_pool.h"
 
 namespace optiql {
+
+// Friended by BTree (outside the anonymous namespace so the friend
+// declaration matches): drives PublishSplit with deliberately wrong lock
+// states to prove the SMO-ordering invariants fire. Only ever called
+// inside EXPECT_DEATH children, so the bogus split never lands in a tree
+// another test can see.
+struct BTreeTestPeer {
+  template <class Tree>
+  static void PublishSplitWithUnlockedParent(Tree& tree) {
+    auto* parent = Tree::AsInner(tree.root_.load(std::memory_order_acquire));
+    typename Tree::NodeBase* left = parent->children[0];
+    auto* right = new typename Tree::Leaf();
+    tree.PublishSplit(parent, left, right, /*separator=*/0);
+  }
+
+  template <class Tree>
+  static void PublishSplitWithUnlockedLeft(Tree& tree) {
+    auto* parent = Tree::AsInner(tree.root_.load(std::memory_order_acquire));
+    parent->lock.AcquireEx();  // Parent held, left half deliberately not.
+    typename Tree::NodeBase* left = parent->children[0];
+    auto* right = new typename Tree::Leaf();
+    tree.PublishSplit(parent, left, right, /*separator=*/0);
+  }
+};
+
 namespace {
 
 #if defined(OPTIQL_CHECK_INVARIANTS) && OPTIQL_CHECK_INVARIANTS
@@ -197,6 +223,28 @@ TEST_F(InvariantDeathTest, HybridPessimisticReaderOverflow) {
   ASSERT_EQ(lock.SharedCount(), max_readers);
   EXPECT_DEATH(lock.AcquireShPessimistic(), kDeathMessage);
   for (uint32_t i = 0; i < max_readers; ++i) lock.ReleaseShPessimistic();
+}
+
+// --- B+-tree SMO ordering ---
+//
+// A split becomes visible the instant the separator lands in the parent;
+// publishing with the parent (or the half-emptied left node) unlocked
+// would expose a torn split to optimistic readers.
+
+TEST_F(InvariantDeathTest, BTreeSplitPublishedIntoUnlockedParent) {
+  BTree<uint64_t, uint64_t, BTreeOlcPolicy> tree;
+  for (uint64_t k = 0; k < 4096; ++k) ASSERT_TRUE(tree.Insert(k, k));
+  ASSERT_GE(tree.Height(), 2);  // The root must be an inner node.
+  EXPECT_DEATH(BTreeTestPeer::PublishSplitWithUnlockedParent(tree),
+               kDeathMessage);
+}
+
+TEST_F(InvariantDeathTest, BTreeSplitPublishedWithUnlockedLeftHalf) {
+  BTree<uint64_t, uint64_t, BTreeOlcPolicy> tree;
+  for (uint64_t k = 0; k < 4096; ++k) ASSERT_TRUE(tree.Insert(k, k));
+  ASSERT_GE(tree.Height(), 2);
+  EXPECT_DEATH(BTreeTestPeer::PublishSplitWithUnlockedLeft(tree),
+               kDeathMessage);
 }
 
 #else  // !OPTIQL_CHECK_INVARIANTS

@@ -1,0 +1,57 @@
+// Known-bad fixture: validations fed a version word no acquire filled.
+// Each function models the bug class R5 exists for — the section *looks*
+// balanced (open then close, so R1 stays quiet) but the close compares
+// against a stale or never-written variable, so it validates garbage and
+// the torn-read window is wide open.
+// EXPECT-FAIL: version-dataflow
+#ifndef OPTIQL_TESTS_LINT_FIXTURES_BAD_VALIDATE_WRONG_VERSION_H_
+#define OPTIQL_TESTS_LINT_FIXTURES_BAD_VALIDATE_WRONG_VERSION_H_
+
+#include <cstdint>
+
+struct Node {
+  uint64_t value;
+  Lock lock;
+};
+
+// BUG: AcquireSh fills `va`, but the exit validates `vb`, which still
+// holds its initializer. ReleaseSh(vb) "succeeds" or "fails" against a
+// constant — either way the snapshot of `a.value` is never checked.
+inline uint64_t LookupCrossedVersions(Node& a, uint64_t fallback) {
+  uint64_t va;
+  uint64_t vb = 0;
+  if (!a.lock.AcquireSh(va)) return fallback;
+  const uint64_t value = a.value;
+  if (!a.lock.ReleaseSh(vb)) return fallback;
+  return value;
+}
+
+// BUG: the upgrade consumes `stale`, a variable no acquire ever wrote.
+// The CAS from a garbage expected word spuriously fails (livelock) or —
+// worse — spuriously succeeds against a recycled version.
+inline bool UpgradeUnfilledSnapshot(Node& node, uint64_t value) {
+  uint64_t v;
+  uint64_t stale;
+  if (!node.lock.AcquireSh(v)) return false;
+  if (!node.lock.TryUpgrade(stale)) return false;
+  Node* locked = &node;
+  locked->value = value;
+  node.lock.ReleaseEx();
+  return true;
+}
+
+// BUG: descent that validates the child with the *parent's* version word
+// twice; `cv` is filled but never checked before the read is returned.
+inline bool DescendValidatesWrongNode(Node& parent, Node& child,
+                                      uint64_t* out) {
+  uint64_t pv = 0;
+  uint64_t cv = 0;
+  uint64_t typo = 0;
+  if (!ReadLockOrRestart(parent.lock, pv)) return false;
+  if (!ReadLockNode(&child, cv)) return false;
+  if (!Validate(parent.lock, pv)) return false;
+  *out = child.value;
+  return Validate(child.lock, typo);
+}
+
+#endif  // OPTIQL_TESTS_LINT_FIXTURES_BAD_VALIDATE_WRONG_VERSION_H_
