@@ -1,9 +1,11 @@
 // Shared helpers for the per-figure benchmark binaries: flag parsing,
-// banner printing, and machine-readable result emission. Every binary
-// accepts:
+// banner printing, key-distribution selection, the YCSB core mix tables,
+// and machine-readable result emission. Every binary accepts:
 //   --threads=a,b,c     thread counts to sweep (default: env/auto)
 //   --duration=MS       per-data-point duration (default: env or 150 ms)
 //   --records=N         index preload size (default: env or 100000)
+//   --dist=SPEC         key-access distribution: uniform | zipf[:theta]
+//                       | selfsimilar[:skew] (default: per-binary)
 //   --full              paper-scale parameters (slower)
 //   --json[=PATH]       also emit results as a JSON array (benches that
 //                       support it write BENCH_<name>.json by default)
@@ -16,14 +18,116 @@
 #include <cstdlib>
 #include <cstring>
 #include <initializer_list>
+#include <optional>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "harness/bench_runner.h"
+#include "workload/distributions.h"
 
 namespace optiql {
+
+// A parsed key-access distribution choice — one spelling shared by every
+// bench binary (ext_ycsb, ext_txn, the index sweeps) instead of each
+// growing its own enum + parser.
+struct KeyDist {
+  enum class Kind { kUniform, kZipfian, kSelfSimilar };
+  Kind kind = Kind::kUniform;
+  double skew = 0.0;  // Zipf theta / self-similar h; unused for uniform.
+
+  static KeyDist Uniform() { return {Kind::kUniform, 0.0}; }
+  static KeyDist Zipfian(double theta) { return {Kind::kZipfian, theta}; }
+  static KeyDist SelfSimilar(double h) { return {Kind::kSelfSimilar, h}; }
+
+  // "uniform" | "zipf" | "zipf:0.7" | "selfsimilar" | "selfsimilar:0.3".
+  static bool Parse(const std::string& spec, KeyDist& out) {
+    const size_t colon = spec.find(':');
+    const std::string name = spec.substr(0, colon);
+    const bool has_param = colon != std::string::npos;
+    const double param =
+        has_param ? std::strtod(spec.c_str() + colon + 1, nullptr) : 0.0;
+    if (name == "uniform") {
+      if (has_param) return false;
+      out = Uniform();
+    } else if (name == "zipf" || name == "zipfian") {
+      out = Zipfian(has_param ? param : 0.99);
+      if (out.skew <= 0.0 || out.skew >= 1.0) return false;
+    } else if (name == "selfsimilar") {
+      out = SelfSimilar(has_param ? param : 0.2);
+      if (out.skew <= 0.0 || out.skew >= 0.5) return false;
+    } else {
+      return false;
+    }
+    return true;
+  }
+
+  std::string Name() const {
+    char buf[32];
+    switch (kind) {
+      case Kind::kUniform:
+        return "uniform";
+      case Kind::kZipfian:
+        std::snprintf(buf, sizeof(buf), "zipf:%.2f", skew);
+        return buf;
+      case Kind::kSelfSimilar:
+        std::snprintf(buf, sizeof(buf), "selfsimilar:%.2f", skew);
+        return buf;
+    }
+    return "?";
+  }
+};
+
+// Materializes the sampler a KeyDist names over [0, records). Constructed
+// once per run (the Zipf constructor sums a harmonic series over n) and
+// shared read-only by the worker threads.
+class KeySampler {
+ public:
+  KeySampler(const KeyDist& dist, uint64_t records) : uniform_(records) {
+    if (dist.kind == KeyDist::Kind::kZipfian) {
+      zipf_.emplace(records, dist.skew);
+    } else if (dist.kind == KeyDist::Kind::kSelfSimilar) {
+      selfsim_.emplace(records, dist.skew);
+    }
+  }
+
+  uint64_t Next(Xoshiro256& rng) const {
+    if (zipf_) return zipf_->Next(rng);
+    if (selfsim_) return selfsim_->Next(rng);
+    return uniform_.Next(rng);
+  }
+
+ private:
+  UniformDistribution uniform_;
+  std::optional<ZipfianDistribution> zipf_;
+  std::optional<SelfSimilarDistribution> selfsim_;
+};
+
+// --- YCSB core mixes -------------------------------------------------------
+// The industry-standard op-mix tables (Cooper et al., SoCC '10), shared by
+// ext_ycsb and any bench that wants a named mix. Percentages sum to 100;
+// `latest` marks workload D's recency-skewed request distribution.
+
+struct YcsbWorkload {
+  const char* name;
+  const char* description;
+  int read_pct;
+  int update_pct;
+  int insert_pct;
+  int scan_pct;
+  int rmw_pct;
+  bool latest = false;  // D: requests target recently inserted keys.
+};
+
+inline constexpr YcsbWorkload kYcsbWorkloads[] = {
+    {"A", "update heavy (50/50 read/update, zipf)", 50, 50, 0, 0, 0},
+    {"B", "read mostly (95/5 read/update, zipf)", 95, 5, 0, 0, 0},
+    {"C", "read only (zipf)", 100, 0, 0, 0, 0},
+    {"D", "read latest (95/5 read/insert)", 95, 0, 5, 0, 0, true},
+    {"E", "short ranges (95/5 scan/insert, zipf)", 0, 0, 5, 95, 0},
+    {"F", "read-modify-write (50/50 read/rmw, zipf)", 50, 0, 0, 0, 50},
+};
 
 struct BenchFlags {
   std::vector<int> threads;
@@ -32,6 +136,8 @@ struct BenchFlags {
   bool full = false;
   bool json = false;
   std::string json_path;  // Empty: the binary picks its default name.
+  KeyDist dist;           // --dist; dist_given says it was set explicitly
+  bool dist_given = false;  // (binaries keep their own default otherwise).
 
   static BenchFlags Parse(int argc, char** argv) {
     BenchFlags flags;
@@ -54,6 +160,15 @@ struct BenchFlags {
         flags.duration_ms = std::atoi(arg.c_str() + 11);
       } else if (arg.rfind("--records=", 0) == 0) {
         flags.records = std::strtoull(arg.c_str() + 10, nullptr, 10);
+      } else if (arg.rfind("--dist=", 0) == 0) {
+        if (!KeyDist::Parse(arg.substr(7), flags.dist)) {
+          std::fprintf(stderr,
+                       "bad --dist (want uniform | zipf[:theta] | "
+                       "selfsimilar[:skew]): %s\n",
+                       arg.c_str());
+          std::exit(2);
+        }
+        flags.dist_given = true;
       } else if (arg == "--full") {
         flags.full = true;
         flags.duration_ms = 1000;
@@ -66,7 +181,7 @@ struct BenchFlags {
       } else if (arg == "--help" || arg == "-h") {
         std::printf(
             "usage: %s [--threads=a,b,c] [--duration=ms] [--records=n] "
-            "[--full] [--json[=path]]\n",
+            "[--dist=spec] [--full] [--json[=path]]\n",
             argv[0]);
         std::exit(0);
       }

@@ -8,32 +8,9 @@
 #include "harness/bench_runner.h"
 #include "harness/table_printer.h"
 #include "index_bench_common.h"
-#include "workload/distributions.h"
 
 namespace optiql {
 namespace {
-
-enum class YcsbOp { kRead, kUpdate, kInsert, kScan, kRmw };
-
-struct YcsbWorkload {
-  const char* name;
-  const char* description;
-  int read_pct;
-  int update_pct;
-  int insert_pct;
-  int scan_pct;
-  int rmw_pct;
-  bool latest = false;  // D: requests target recently inserted keys.
-};
-
-constexpr YcsbWorkload kWorkloads[] = {
-    {"A", "update heavy (50/50 read/update, zipf)", 50, 50, 0, 0, 0},
-    {"B", "read mostly (95/5 read/update, zipf)", 95, 5, 0, 0, 0},
-    {"C", "read only (zipf)", 100, 0, 0, 0, 0},
-    {"D", "read latest (95/5 read/insert)", 95, 0, 5, 0, 0, true},
-    {"E", "short ranges (95/5 scan/insert, zipf)", 0, 0, 5, 95, 0},
-    {"F", "read-modify-write (50/50 read/rmw, zipf)", 50, 0, 0, 0, 50},
-};
 
 template <class Tree>
 double RunYcsb(const BenchFlags& flags, const YcsbWorkload& workload,
@@ -47,7 +24,10 @@ double RunYcsb(const BenchFlags& flags, const YcsbWorkload& workload,
   RunOptions options;
   options.threads = threads;
   options.duration_ms = flags.duration_ms;
-  const ZipfianDistribution zipf(flags.records, 0.99);
+  // YCSB's default request skew; --dist overrides it for the whole sweep.
+  const KeyDist dist =
+      flags.dist_given ? flags.dist : KeyDist::Zipfian(0.99);
+  const KeySampler sampler(dist, flags.records);
 
   const RunResult result = RunFixedDuration(
       options,
@@ -57,13 +37,13 @@ double RunYcsb(const BenchFlags& flags, const YcsbWorkload& workload,
         while (!stop.load(std::memory_order_acquire)) {
           uint64_t key;
           if (workload.latest) {
-            // "Latest": zipf rank 0 = the newest inserted key.
+            // "Latest": skew rank 0 = the newest inserted key.
             const uint64_t limit =
                 next_insert.load(std::memory_order_relaxed);
-            const uint64_t back = zipf.Next(rng) % limit;
+            const uint64_t back = sampler.Next(rng) % limit;
             key = limit - 1 - back;
           } else {
-            key = zipf.Next(rng);
+            key = sampler.Next(rng);
           }
           const uint64_t roll = rng.NextBounded(100);
           if (roll < static_cast<uint64_t>(workload.read_pct)) {
@@ -102,7 +82,7 @@ int main(int argc, char** argv) {
   PrintBanner("Extension: YCSB A-F on the B+-tree",
               "industry-standard mixes (zipf 0.99), OptLock vs OptiQL",
               flags);
-  for (const YcsbWorkload& workload : kWorkloads) {
+  for (const YcsbWorkload& workload : kYcsbWorkloads) {
     std::printf("-- YCSB-%s: %s --\n", workload.name, workload.description);
     std::vector<std::string> header = {"lock \\ threads (Mops/s)"};
     for (int t : flags.threads) header.push_back(std::to_string(t));

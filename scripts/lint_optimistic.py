@@ -39,6 +39,21 @@ them:
                         garbage and silently disables the protocol.
                         Compound-expression arguments are conservatively
                         skipped; only plain identifiers are checked.
+  R6 occ-write-before-validate
+                        The txn-layer analogue of R1/R2: between a
+                        `StableVersion()` snapshot and its
+                        `ValidateVersion()` check, nothing may be
+                        published — no `Install()` and no atomic
+                        `.store()`. OCC's correctness rests on reads
+                        being validated *before* their values feed a
+                        write; a write issued mid-section is a dirty
+                        write under an unvalidated snapshot.
+
+The TxnOps contract names (StableVersion / ValidateVersion) are matched
+in any spelling — bare, `Ops::`-qualified, or `TxnOps<Lock>::`-qualified
+— since the names are unique to the contract. The coupling-facade names
+(AcquireSh et al.) stay member-call-only: their qualified spellings are
+the pessimistic facade, which TSA covers.
 
 Engines:
   --engine=lexical (default) needs only the Python stdlib: functions are
@@ -65,7 +80,7 @@ import re
 import sys
 
 RULES = ("validate-on-exit", "no-store-in-read-section", "raw-delete",
-         "epoch-guard", "version-dataflow")
+         "epoch-guard", "version-dataflow", "occ-write-before-validate")
 
 # Lock-implementation layer: the protocol primitives themselves. Their
 # bodies *are* the open/validate operations, so the usage rules do not
@@ -95,6 +110,18 @@ CLOSER_RE = re.compile(
     r"(?<![:\w])(?:Validate\w*)\s*\(|"
     r"(?:\.|->)(?:ReleaseSh|TryUpgrade\w*)\s*\(")
 
+# R1/R6: the TxnOps OCC read section. `StableVersion` / `ValidateVersion`
+# exist only as the contract's names, so any spelling — bare or
+# `::`-qualified (`Ops::StableVersion(`, `TxnOps<L>::ValidateVersion(`) —
+# opens/closes a section. (`\b` matches after `:` and `>`.)
+OCC_OPENER_RE = re.compile(r"\bStableVersion\s*\(")
+OCC_CLOSER_RE = re.compile(r"\bValidateVersion\s*\(")
+
+# R6: a publication issued while an OCC read section is open. `Install`
+# is the txn write-guard's publish; `.store(` is a raw atomic publish.
+# Loads are fine — OCC reads under the snapshot by design.
+OCC_WRITE_RE = re.compile(r"(?:\.|->)\s*(?:Install\w*|store)\s*\(")
+
 # R2: a store through a pointer dereference. Excludes `==`, `<=` etc. via
 # the lookahead; member stores on locals (`result.found = ...`) use `.`
 # and are deliberately not matched.
@@ -118,11 +145,15 @@ VERSION_FILL_RES = (
     re.compile(r"(?:\.|->)AcquireSh\s*\(\s*&?\s*(\w+)\s*\)"),
     re.compile(r"(?<![:\w])(?:ReadLockOrRestart|ReadLockNode)\s*"
                r"\((?:[^()]|\([^()]*\))*?,\s*&?\s*(\w+)\s*\)"),
+    re.compile(r"\bStableVersion\s*"
+               r"\((?:[^()]|\([^()]*\))*?,\s*&?\s*(\w+)\s*\)"),
 )
 VERSION_USE_RES = (
     re.compile(r"(?:\.|->)ReleaseSh\s*\(\s*(\w+)\s*\)"),
     re.compile(r"(?:\.|->)TryUpgrade\w*\s*\(\s*(\w+)\s*[,)]"),
     re.compile(r"(?<![:\w.>])Validate\w*\s*"
+               r"\((?:[^()]|\([^()]*\))*?,\s*(\w+)\s*\)"),
+    re.compile(r"\bValidateVersion\s*"
                r"\((?:[^()]|\([^()]*\))*?,\s*(\w+)\s*\)"),
 )
 # One `dst = src` per statement chunk, anchored at the chunk's end so
@@ -337,15 +368,22 @@ def iter_statements(body):
 
 
 def check_function_rules(path, func, allow, findings):
-    """R1 + R2 over one function body (binary open/closed section model)."""
+    """R1 + R2 + R6 over one function body (binary open/closed sections).
+
+    R6 only applies to sections opened by `StableVersion` (the OCC leg of
+    the TxnOps contract); coupling-opened sections (ReadLockOrRestart /
+    AcquireSh) keep the classic R1/R2 treatment.
+    """
     if HELPER_NAME_RE.match(func.name or ""):
         return
     open_section = False
+    occ_section = False  # Current open section was opened by StableVersion.
     open_line = None
     for off, stmt in iter_statements(func.body):
         line = func.body_line_of(off)
-        has_open = OPENER_RE.search(stmt)
-        has_close = CLOSER_RE.search(stmt)
+        occ_open = OCC_OPENER_RE.search(stmt)
+        has_open = OPENER_RE.search(stmt) or occ_open
+        has_close = CLOSER_RE.search(stmt) or OCC_CLOSER_RE.search(stmt)
         is_return = re.search(r"(?<!\w)return(?!\w)", stmt)
         # A return in the same statement as an opener is the failure leg of
         # a bail block (`if (!x.AcquireSh(v)) return false;`): the snapshot
@@ -356,7 +394,7 @@ def check_function_rules(path, func, allow, findings):
                 findings.append(Finding(
                     path, rline, "validate-on-exit",
                     "return while the optimistic read section opened at "
-                    "line %d is unvalidated (no ReleaseSh/Validate/"
+                    "line %d is unvalidated (no ReleaseSh/Validate(Version)/"
                     "TryUpgrade on this exit path)" % open_line))
             open_section = False  # One finding per section.
         if open_section:
@@ -370,10 +408,24 @@ def check_function_rules(path, func, allow, findings):
                         "store through a pointer inside the optimistic "
                         "read section opened at line %d (writes require "
                         "an upgrade or exclusive lock)" % open_line))
+            if occ_section:
+                m = OCC_WRITE_RE.search(stmt)
+                if m:
+                    write_line = func.body_line_of(off + m.start())
+                    if not allow.suppressed(write_line,
+                                            "occ-write-before-validate"):
+                        findings.append(Finding(
+                            path, write_line, "occ-write-before-validate",
+                            "write published inside the OCC read section "
+                            "opened at line %d before ValidateVersion() "
+                            "(install only after the snapshot validates, "
+                            "under an exclusive lock)" % open_line))
         if has_close:
             open_section = False
+            occ_section = False
         if has_open:
             open_section = True
+            occ_section = occ_open is not None
             open_line = func.body_line_of(off + has_open.start())
     if open_section:
         line = func.body_line_of(len(func.body) - 1)

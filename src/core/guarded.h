@@ -11,6 +11,10 @@
 // than reading the protected value into locals/return values, and they must
 // tolerate observing a torn T (they run before validation). Returned values
 // are only published after validation succeeds.
+//
+// All lock access goes through TxnOps<Lock> (sync/txn_ops.h), so any lock
+// family in that contract works here — the qnode-vs-plain exclusive split
+// is the contract's problem, not this wrapper's.
 #ifndef OPTIQL_CORE_GUARDED_H_
 #define OPTIQL_CORE_GUARDED_H_
 
@@ -18,38 +22,9 @@
 
 #include "common/platform.h"
 #include "core/optiql.h"
-#include "qnode/qnode_pool.h"
+#include "sync/txn_ops.h"
 
 namespace optiql {
-
-namespace internal {
-
-// Exclusive-section shim: OptiQL-family locks need a queue node; OptLock
-// and friends do not.
-template <class Lock>
-concept NeedsQNode = requires(Lock lock, QNode* qnode) {
-  lock.AcquireEx(qnode);
-};
-
-template <class Lock>
-struct GuardedExclusive {
-  static void Acquire(Lock& lock) {
-    if constexpr (NeedsQNode<Lock>) {
-      lock.AcquireEx(ThreadQNodes::Get(0));
-    } else {
-      lock.AcquireEx();
-    }
-  }
-  static void Release(Lock& lock) {
-    if constexpr (NeedsQNode<Lock>) {
-      lock.ReleaseEx(ThreadQNodes::Get(0));
-    } else {
-      lock.ReleaseEx();
-    }
-  }
-};
-
-}  // namespace internal
 
 template <class T, class Lock = OptiQL>
 class Guarded {
@@ -69,16 +44,16 @@ class Guarded {
     SpinWait wait;
     while (true) {
       uint64_t v;
-      if (!lock_.AcquireSh(v)) {
+      if (!Ops::StableVersion(lock_, v)) {
         wait.Spin();
         continue;
       }
       if constexpr (std::is_void_v<decltype(f(value_))>) {
         f(value_);
-        if (lock_.ReleaseSh(v)) return;
+        if (Ops::ValidateVersion(lock_, v)) return;
       } else {
         auto result = f(value_);
-        if (lock_.ReleaseSh(v)) return result;
+        if (Ops::ValidateVersion(lock_, v)) return result;
       }
       wait.Spin();
     }
@@ -87,13 +62,13 @@ class Guarded {
   // Runs `f(T&)` exclusively and returns its result.
   template <class F>
   auto WithWrite(F&& f) {
-    internal::GuardedExclusive<Lock>::Acquire(lock_);
+    const typename Ops::ExHandle handle = Ops::LockEx(lock_, 0);
     if constexpr (std::is_void_v<decltype(f(value_))>) {
       f(value_);
-      internal::GuardedExclusive<Lock>::Release(lock_);
+      Ops::UnlockEx(lock_, handle);
     } else {
       auto result = f(value_);
-      internal::GuardedExclusive<Lock>::Release(lock_);
+      Ops::UnlockEx(lock_, handle);
       return result;
     }
   }
@@ -111,6 +86,8 @@ class Guarded {
   const Lock& lock() const { return lock_; }
 
  private:
+  using Ops = TxnOps<Lock>;
+
   mutable Lock lock_;
   T value_{};
 };

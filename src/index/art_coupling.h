@@ -32,7 +32,7 @@
 #include "common/check.h"
 #include "index/art_nodes.h"
 #include "locks/mcs_rw_lock.h"
-#include "locks/pessimistic_ops.h"
+#include "sync/txn_ops.h"
 #include "workload/key_generator.h"
 
 namespace optiql {
@@ -66,7 +66,7 @@ class ArtCouplingTree {
     uint8_t parent_byte = 0;
     Node* node = root_;
     int slot = 0;
-    POps::AcquireEx(node->lock, slot);
+    POps::LockEx(node->lock, slot);
     size_t level = 0;
 
     while (true) {
@@ -149,10 +149,10 @@ class ArtCouplingTree {
 
       // Inner child: couple downward. Release the old parent first (its
       // role is over), lock the child, then shift the window.
-      if (parent != nullptr) POps::ReleaseEx(parent->lock, parent_slot);
+      if (parent != nullptr) POps::UnlockEx(parent->lock, parent_slot);
       Node* next = Nodes::AsNode(child);
       const int next_slot = 1 - slot;
-      POps::AcquireEx(next->lock, next_slot);
+      POps::LockEx(next->lock, next_slot);
       parent = node;
       parent_slot = slot;
       parent_byte = byte;
@@ -168,13 +168,13 @@ class ArtCouplingTree {
     // simple exclusive coupling with a single held lock.
     Node* node = root_;
     int slot = 0;
-    POps::AcquireEx(node->lock, slot);
+    POps::LockEx(node->lock, slot);
     size_t level = 0;
     while (true) {
       const uint32_t matched = Nodes::MatchPrefix(node, key, level);
       if (matched < node->prefix_len ||
           level + node->prefix_len >= key.size()) {
-        POps::ReleaseEx(node->lock, slot);
+        POps::UnlockEx(node->lock, slot);
         return false;
       }
       level += node->prefix_len;
@@ -182,20 +182,20 @@ class ArtCouplingTree {
       void* child = Nodes::FindChild(node, byte);
       Nodes::PrefetchChild(child);
       if (child == nullptr) {
-        POps::ReleaseEx(node->lock, slot);
+        POps::UnlockEx(node->lock, slot);
         return false;
       }
       if (Nodes::IsLeaf(child)) {
         typename Nodes::LeafRecord* leaf = Nodes::AsLeaf(child);
         const bool match = Nodes::LeafMatches(leaf, key);
         if (match) leaf->value.store(value, std::memory_order_relaxed);
-        POps::ReleaseEx(node->lock, slot);
+        POps::UnlockEx(node->lock, slot);
         return match;
       }
       Node* next = Nodes::AsNode(child);
       const int next_slot = 1 - slot;
-      POps::AcquireEx(next->lock, next_slot);
-      POps::ReleaseEx(node->lock, slot);
+      POps::LockEx(next->lock, next_slot);
+      POps::UnlockEx(node->lock, slot);
       node = next;
       slot = next_slot;
       ++level;
@@ -206,13 +206,13 @@ class ArtCouplingTree {
               uint64_t& out) const OPTIQL_NO_THREAD_SAFETY_ANALYSIS {
     const Node* node = root_;
     int slot = 0;
-    POps::AcquireSh(const_cast<Node*>(node)->lock, slot);
+    POps::LockSh(const_cast<Node*>(node)->lock, slot);
     size_t level = 0;
     while (true) {
       const uint32_t matched = Nodes::MatchPrefix(node, key, level);
       if (matched < node->prefix_len ||
           level + node->prefix_len >= key.size()) {
-        POps::ReleaseSh(const_cast<Node*>(node)->lock, slot);
+        POps::UnlockSh(const_cast<Node*>(node)->lock, slot);
         return false;
       }
       level += node->prefix_len;
@@ -220,20 +220,20 @@ class ArtCouplingTree {
       void* child = Nodes::FindChild(node, byte);
       Nodes::PrefetchChild(child);
       if (child == nullptr) {
-        POps::ReleaseSh(const_cast<Node*>(node)->lock, slot);
+        POps::UnlockSh(const_cast<Node*>(node)->lock, slot);
         return false;
       }
       if (Nodes::IsLeaf(child)) {
         const typename Nodes::LeafRecord* leaf = Nodes::AsLeaf(child);
         const bool match = Nodes::LeafMatches(leaf, key);
         if (match) out = leaf->value.load(std::memory_order_relaxed);
-        POps::ReleaseSh(const_cast<Node*>(node)->lock, slot);
+        POps::UnlockSh(const_cast<Node*>(node)->lock, slot);
         return match;
       }
       const Node* next = Nodes::AsNode(child);
       const int next_slot = 1 - slot;
-      POps::AcquireSh(const_cast<Node*>(next)->lock, next_slot);
-      POps::ReleaseSh(const_cast<Node*>(node)->lock, slot);
+      POps::LockSh(const_cast<Node*>(next)->lock, next_slot);
+      POps::UnlockSh(const_cast<Node*>(node)->lock, slot);
       node = next;
       slot = next_slot;
       ++level;
@@ -243,13 +243,13 @@ class ArtCouplingTree {
   bool Remove(std::string_view key) OPTIQL_NO_THREAD_SAFETY_ANALYSIS {
     Node* node = root_;
     int slot = 0;
-    POps::AcquireEx(node->lock, slot);
+    POps::LockEx(node->lock, slot);
     size_t level = 0;
     while (true) {
       const uint32_t matched = Nodes::MatchPrefix(node, key, level);
       if (matched < node->prefix_len ||
           level + node->prefix_len >= key.size()) {
-        POps::ReleaseEx(node->lock, slot);
+        POps::UnlockEx(node->lock, slot);
         return false;
       }
       level += node->prefix_len;
@@ -257,25 +257,25 @@ class ArtCouplingTree {
       void* child = Nodes::FindChild(node, byte);
       Nodes::PrefetchChild(child);
       if (child == nullptr) {
-        POps::ReleaseEx(node->lock, slot);
+        POps::UnlockEx(node->lock, slot);
         return false;
       }
       if (Nodes::IsLeaf(child)) {
         typename Nodes::LeafRecord* leaf = Nodes::AsLeaf(child);
         if (!Nodes::LeafMatches(leaf, key)) {
-          POps::ReleaseEx(node->lock, slot);
+          POps::UnlockEx(node->lock, slot);
           return false;
         }
         Nodes::RemoveChild(node, byte);
         size_.fetch_sub(1, std::memory_order_acq_rel);
-        POps::ReleaseEx(node->lock, slot);
+        POps::UnlockEx(node->lock, slot);
         Nodes::FreeLeaf(leaf);  // No optimistic readers in this variant.
         return true;
       }
       Node* next = Nodes::AsNode(child);
       const int next_slot = 1 - slot;
-      POps::AcquireEx(next->lock, next_slot);
-      POps::ReleaseEx(node->lock, slot);
+      POps::LockEx(next->lock, next_slot);
+      POps::UnlockEx(node->lock, slot);
       node = next;
       slot = next_slot;
       ++level;
@@ -317,13 +317,13 @@ class ArtCouplingTree {
   using Nodes = ArtNodes<RwLock>;
   using Node = typename Nodes::Node;
   using NodeType = typename Nodes::NodeType;
-  using POps = internal::PessimisticOps<RwLock>;
+  using POps = TxnOps<RwLock>;
 
   // Releases the held (parent, node) window and forwards the result.
   bool FinishWrite(Node* parent, int parent_slot, Node* node, int slot,
                    bool result) OPTIQL_NO_THREAD_SAFETY_ANALYSIS {
-    POps::ReleaseEx(node->lock, slot);
-    if (parent != nullptr) POps::ReleaseEx(parent->lock, parent_slot);
+    POps::UnlockEx(node->lock, slot);
+    if (parent != nullptr) POps::UnlockEx(parent->lock, parent_slot);
     return result;
   }
 

@@ -53,11 +53,11 @@
 #include "core/optiql.h"
 #include "locks/mcs_rw_lock.h"
 #include "locks/optlock.h"
-#include "locks/pessimistic_ops.h"
 #include "locks/shared_mutex_lock.h"
 #include "qnode/qnode_pool.h"
 #include "sync/epoch.h"
 #include "sync/lock_telemetry.h"
+#include "sync/txn_ops.h"
 
 namespace optiql {
 
@@ -114,6 +114,8 @@ class BTree {
   static constexpr bool kInPlaceUpdates = SyncPolicy::kInPlaceUpdates;
   using InnerLock = typename SyncPolicy::InnerLock;
   using LeafLock = typename SyncPolicy::LeafLock;
+  using InnerOps = TxnOps<InnerLock>;
+  using LeafOps = TxnOps<LeafLock>;
 
   // In-place publication stores the value through std::atomic_ref while
   // readers copy it unsynchronized-then-validate, so the value must be a
@@ -496,14 +498,16 @@ class BTree {
   // ReadLockOrRestart spins until the lock admits readers and returns the
   // snapshot, or reports failure once the node is marked obsolete (it was
   // merged away; spinning would never end because a retired lock admits no
-  // reader). Validate re-checks the snapshot. Works for both OptLock and
-  // OptiQL since they share the AcquireSh/ReleaseSh/IsObsolete interface.
+  // reader). Validate re-checks the snapshot. All version access goes
+  // through the TxnOps<Lock> contract (sync/txn_ops.h), so any versioned
+  // lock family works here and the transaction layer validates against the
+  // very same words.
 
   template <class Lock>
   static bool ReadLockOrRestart(const Lock& lock, uint64_t& v) {
     SpinWait wait;
-    while (!lock.AcquireSh(v)) {
-      if (lock.IsObsolete()) return false;
+    while (!TxnOps<Lock>::StableVersion(lock, v)) {
+      if (TxnOps<Lock>::IsObsolete(lock)) return false;
       wait.Spin();
     }
     return true;
@@ -516,7 +520,48 @@ class BTree {
 
   template <class Lock>
   static bool Validate(const Lock& lock, uint64_t v) {
-    return lock.ReleaseSh(v);
+    return TxnOps<Lock>::ValidateVersion(lock, v);
+  }
+
+  // Exclusive-mode wrappers over the same contract for locks whose
+  // ExHandle is stateless (OptLock inner nodes and OLC leaves): the empty
+  // handle is created and dropped in place. Queue-based leaf locks thread
+  // a real handle instead — the static_assert keeps that honest.
+
+  template <class Lock>
+  static void LockNodeEx(Lock& lock, int slot) {
+    static_assert(std::is_empty_v<typename TxnOps<Lock>::ExHandle>,
+                  "stateful exclusive handle dropped");
+    (void)TxnOps<Lock>::LockEx(lock, slot);
+  }
+
+  template <class Lock>
+  static bool TryUpgradeLock(Lock& lock, uint64_t v) {
+    static_assert(std::is_empty_v<typename TxnOps<Lock>::ExHandle>,
+                  "stateful exclusive handle dropped");
+    typename TxnOps<Lock>::ExHandle handle{};
+    return TxnOps<Lock>::TryUpgrade(lock, v, /*slot=*/0, handle);
+  }
+
+  template <class Lock>
+  static void UnlockNodeEx(Lock& lock) {
+    static_assert(std::is_empty_v<typename TxnOps<Lock>::ExHandle>,
+                  "stateful exclusive handle dropped");
+    TxnOps<Lock>::UnlockEx(lock, typename TxnOps<Lock>::ExHandle{});
+  }
+
+  template <class Lock>
+  static void UnlockNodeExNoBump(Lock& lock) {
+    static_assert(std::is_empty_v<typename TxnOps<Lock>::ExHandle>,
+                  "stateful exclusive handle dropped");
+    TxnOps<Lock>::UnlockExNoBump(lock, typename TxnOps<Lock>::ExHandle{});
+  }
+
+  template <class Lock>
+  static void UnlockNodeExObsolete(Lock& lock) {
+    static_assert(std::is_empty_v<typename TxnOps<Lock>::ExHandle>,
+                  "stateful exclusive handle dropped");
+    TxnOps<Lock>::UnlockExObsolete(lock, typename TxnOps<Lock>::ExHandle{});
   }
 
   // --- Optimistic traversal ---
@@ -666,7 +711,9 @@ class BTree {
   // by the optimistic-protocol linter's pairing rule and the invariant
   // build instead.
 
-  using POps = internal::PessimisticOps<InnerLock>;
+  // Coupling goes through the slot-based shared/exclusive surface of the
+  // same TxnOps contract (InnerLock == LeafLock for coupling policies).
+  using POps = TxnOps<InnerLock>;
 
   bool LookupCoupling(const Key& key,
                       Value& out) const OPTIQL_NO_THREAD_SAFETY_ANALYSIS {
@@ -730,12 +777,12 @@ class BTree {
         if (next == nullptr || out.size() >= limit) break;
         PrefetchNodeHeader(next);
         const int next_slot = 1 - slot;
-        POps::AcquireSh(next->lock, next_slot);
-        POps::ReleaseSh(leaf->lock, slot);
+        POps::LockSh(next->lock, next_slot);
+        POps::UnlockSh(leaf->lock, slot);
         leaf = next;
         slot = next_slot;
       }
-      POps::ReleaseSh(leaf->lock, slot);
+      POps::UnlockSh(leaf->lock, slot);
       return out.size();
     }
   }
@@ -744,15 +791,15 @@ class BTree {
               int slot) const OPTIQL_NO_THREAD_SAFETY_ANALYSIS {
     if (IsLeaf(node)) {
       if (shared) {
-        POps::AcquireSh(AsLeaf(node)->lock, slot);
+        POps::LockSh(AsLeaf(node)->lock, slot);
       } else {
-        POps::AcquireEx(AsLeaf(node)->lock, slot);
+        POps::LockEx(AsLeaf(node)->lock, slot);
       }
     } else {
       if (shared) {
-        POps::AcquireSh(AsInner(node)->lock, slot);
+        POps::LockSh(AsInner(node)->lock, slot);
       } else {
-        POps::AcquireEx(AsInner(node)->lock, slot);
+        POps::LockEx(AsInner(node)->lock, slot);
       }
     }
   }
@@ -761,15 +808,15 @@ class BTree {
                 int slot) const OPTIQL_NO_THREAD_SAFETY_ANALYSIS {
     if (IsLeaf(node)) {
       if (shared) {
-        POps::ReleaseSh(AsLeaf(node)->lock, slot);
+        POps::UnlockSh(AsLeaf(node)->lock, slot);
       } else {
-        POps::ReleaseEx(AsLeaf(node)->lock, slot);
+        POps::UnlockEx(AsLeaf(node)->lock, slot);
       }
     } else {
       if (shared) {
-        POps::ReleaseSh(AsInner(node)->lock, slot);
+        POps::UnlockSh(AsInner(node)->lock, slot);
       } else {
-        POps::ReleaseEx(AsInner(node)->lock, slot);
+        POps::UnlockEx(AsInner(node)->lock, slot);
       }
     }
   }
@@ -924,26 +971,16 @@ class BTree {
       // Upsert of a missing key needs an insertion: structural, locked path.
       return InPlaceStatus::kFallback;
     }
-    if constexpr (kProtocol == BTreeProtocol::kOptiQl) {
-      QNode* qnode = ThreadQNodes::Get(0);
-      if (!leaf->lock.TryUpgrade(v, qnode)) {
-        // Lost the race (writer queued, or an OPREAD window is open): the
-        // locked path will line up in the queue instead of spinning here.
-        LockTelemetry::Count(LockTelemetry::kInPlaceFallback);
-        return InPlaceStatus::kFallback;
-      }
-      std::atomic_ref<Value>(leaf->values[pos])
-          .store(*value, std::memory_order_release);
-      leaf->lock.ReleaseExNoBump(qnode);
-    } else {
-      if (!leaf->lock.TryUpgrade(v)) {
-        LockTelemetry::Count(LockTelemetry::kInPlaceFallback);
-        return InPlaceStatus::kFallback;
-      }
-      std::atomic_ref<Value>(leaf->values[pos])
-          .store(*value, std::memory_order_release);
-      leaf->lock.ReleaseExNoBump();
+    typename LeafOps::ExHandle handle{};
+    if (!LeafOps::TryUpgrade(leaf->lock, v, /*slot=*/0, handle)) {
+      // Lost the race (writer queued, or an OPREAD window is open): the
+      // locked path will line up in the queue instead of spinning here.
+      LockTelemetry::Count(LockTelemetry::kInPlaceFallback);
+      return InPlaceStatus::kFallback;
     }
+    std::atomic_ref<Value>(leaf->values[pos])
+        .store(*value, std::memory_order_release);
+    LeafOps::UnlockExNoBump(leaf->lock, handle);
     LockTelemetry::Count(LockTelemetry::kInPlaceUpdate);
     *result = true;
     return InPlaceStatus::kDone;
@@ -959,22 +996,22 @@ class BTree {
   bool SplitInnerEagerly(Inner* parent, uint64_t pv, Inner* inner,
                          uint64_t v) {
     if (parent != nullptr) {
-      if (!parent->lock.TryUpgrade(pv)) return false;
+      if (!TryUpgradeLock(parent->lock, pv)) return false;
     }
-    if (!inner->lock.TryUpgrade(v)) {
-      if (parent != nullptr) parent->lock.ReleaseEx();
+    if (!TryUpgradeLock(inner->lock, v)) {
+      if (parent != nullptr) UnlockNodeEx(parent->lock);
       return false;
     }
     if (parent == nullptr &&
         root_.load(std::memory_order_acquire) != inner) {
-      inner->lock.ReleaseEx();
+      UnlockNodeEx(inner->lock);
       return false;
     }
     if (parent != nullptr && parent->count == kInnerMax) {
       // Parent filled up since we passed it; retry from the top (it will be
       // split eagerly on the next descent).
-      parent->lock.ReleaseEx();
-      inner->lock.ReleaseEx();
+      UnlockNodeEx(parent->lock);
+      UnlockNodeEx(inner->lock);
       return false;
     }
 
@@ -994,8 +1031,8 @@ class BTree {
     inner->count = mid;
 
     PublishSplit(parent, inner, right, separator);
-    if (parent != nullptr) parent->lock.ReleaseEx();
-    inner->lock.ReleaseEx();
+    if (parent != nullptr) UnlockNodeEx(parent->lock);
+    UnlockNodeEx(inner->lock);
     return true;
   }
 
@@ -1047,31 +1084,31 @@ class BTree {
     }
     if (NeedsSplitForWrite(kind) && leaf->count == kLeafMax) {
       if (parent != nullptr) {
-        if (!parent->lock.TryUpgrade(pv)) return LeafWriteStatus::kRestart;
+        if (!TryUpgradeLock(parent->lock, pv)) return LeafWriteStatus::kRestart;
       }
-      if (!leaf->lock.TryUpgrade(v)) {
-        if (parent != nullptr) parent->lock.ReleaseEx();
+      if (!TryUpgradeLock(leaf->lock, v)) {
+        if (parent != nullptr) UnlockNodeEx(parent->lock);
         return LeafWriteStatus::kRestart;
       }
       if (parent == nullptr &&
           root_.load(std::memory_order_acquire) != leaf) {
-        leaf->lock.ReleaseEx();
+        UnlockNodeEx(leaf->lock);
         return LeafWriteStatus::kRestart;
       }
       if (parent != nullptr && parent->count == kInnerMax) {
-        parent->lock.ReleaseEx();
-        leaf->lock.ReleaseEx();
+        UnlockNodeEx(parent->lock);
+        UnlockNodeEx(leaf->lock);
         return LeafWriteStatus::kRestart;
       }
       *result = SplitLeafAndApply(leaf, parent, key, value, kind);
-      if (parent != nullptr) parent->lock.ReleaseEx();
-      leaf->lock.ReleaseEx();
+      if (parent != nullptr) UnlockNodeEx(parent->lock);
+      UnlockNodeEx(leaf->lock);
       return LeafWriteStatus::kDone;
     }
 
-    if (!leaf->lock.TryUpgrade(v)) return LeafWriteStatus::kRestart;
+    if (!TryUpgradeLock(leaf->lock, v)) return LeafWriteStatus::kRestart;
     *result = ApplyToLeaf(leaf, key, value, kind);
-    leaf->lock.ReleaseEx();
+    UnlockNodeEx(leaf->lock);
     return LeafWriteStatus::kDone;
   }
 
@@ -1082,15 +1119,19 @@ class BTree {
                                   bool parent_is_root, const Key& key,
                                   const Value* value, WriteKind kind,
                                   bool* result) {
-    QNode* qnode = ThreadQNodes::Get(0);
+    typename LeafOps::ExHandle handle{};
     if constexpr (kAor) {
-      leaf->lock.AcquireExDeferred(qnode);
+      // The AOR window (deferred acquisition with opportunistic reads) is
+      // OptiQL-specific and outside the TxnOps contract; enter it directly
+      // and fold the queue node into the contract handle for the releases.
+      handle.node = ThreadQNodes::Get(0);
+      leaf->lock.AcquireExDeferred(handle.node);
     } else {
-      leaf->lock.AcquireEx(qnode);
+      handle = LeafOps::LockEx(leaf->lock, /*slot=*/0);
     }
     auto abort = [&] {
-      if constexpr (kAor) leaf->lock.FinishAcquireEx(qnode);
-      leaf->lock.ReleaseEx(qnode);
+      if constexpr (kAor) leaf->lock.FinishAcquireEx(handle.node);
+      LeafOps::UnlockEx(leaf->lock, handle);
       return LeafWriteStatus::kRestart;
     };
     // The leaf may have been split/emptied while we waited in the queue;
@@ -1104,27 +1145,27 @@ class BTree {
     if (kind == WriteKind::kRemove && parent != nullptr &&
         leaf->count <= kLeafMin) {
       // Structural work modifies the leaf; close any inherited window now.
-      if constexpr (kAor) leaf->lock.FinishAcquireEx(qnode);
-      return RebalanceLeafOptiQl(parent, pv, parent_is_root, leaf, qnode,
+      if constexpr (kAor) leaf->lock.FinishAcquireEx(handle.node);
+      return RebalanceLeafOptiQl(parent, pv, parent_is_root, leaf, handle,
                                  key, result);
     }
 
     if (NeedsSplitForWrite(kind) && leaf->count == kLeafMax) {
-      if constexpr (kAor) leaf->lock.FinishAcquireEx(qnode);
+      if constexpr (kAor) leaf->lock.FinishAcquireEx(handle.node);
       if (parent != nullptr) {
-        if (!parent->lock.TryUpgrade(pv)) {
-          leaf->lock.ReleaseEx(qnode);
+        if (!TryUpgradeLock(parent->lock, pv)) {
+          LeafOps::UnlockEx(leaf->lock, handle);
           return LeafWriteStatus::kRestart;
         }
         if (parent->count == kInnerMax) {
-          parent->lock.ReleaseEx();
-          leaf->lock.ReleaseEx(qnode);
+          UnlockNodeEx(parent->lock);
+          LeafOps::UnlockEx(leaf->lock, handle);
           return LeafWriteStatus::kRestart;
         }
       }
       *result = SplitLeafAndApply(leaf, parent, key, value, kind);
-      if (parent != nullptr) parent->lock.ReleaseEx();
-      leaf->lock.ReleaseEx(qnode);
+      if (parent != nullptr) UnlockNodeEx(parent->lock);
+      LeafOps::UnlockEx(leaf->lock, handle);
       return LeafWriteStatus::kDone;
     }
 
@@ -1133,12 +1174,12 @@ class BTree {
       // in-leaf search; close the window only before modifying.
       const uint16_t n = leaf->count;
       const uint16_t pos = leaf->LowerBound(key, n);
-      leaf->lock.FinishAcquireEx(qnode);
+      leaf->lock.FinishAcquireEx(handle.node);
       *result = ApplyToLeafAt(leaf, pos, key, value, kind);
     } else {
       *result = ApplyToLeaf(leaf, key, value, kind);
     }
-    leaf->lock.ReleaseEx(qnode);
+    LeafOps::UnlockEx(leaf->lock, handle);
     return LeafWriteStatus::kDone;
   }
 
@@ -1380,11 +1421,11 @@ class BTree {
       OPTIQL_CHECK(root_.load(std::memory_order_acquire) == parent);
       root_.store(parent->children[0], std::memory_order_release);
       root_collapses_.fetch_add(1, std::memory_order_relaxed);
-      parent->lock.ReleaseExObsolete();
+      UnlockNodeExObsolete(parent->lock);
       RetireNode(parent);
       return;
     }
-    parent->lock.ReleaseEx();
+    UnlockNodeEx(parent->lock);
   }
 
   // Lock-free pre-screen for RebalanceInner: peeks at the node's neighbour
@@ -1425,9 +1466,9 @@ class BTree {
   // a version bump and the caller's snapshots are still valid.
   bool RebalanceInner(Inner* parent, uint64_t pv, bool parent_is_root,
                       Inner* inner, uint64_t v) {
-    if (!parent->lock.TryUpgrade(pv)) return true;
-    if (!inner->lock.TryUpgrade(v)) {
-      parent->lock.ReleaseExNoBump();
+    if (!TryUpgradeLock(parent->lock, pv)) return true;
+    if (!TryUpgradeLock(inner->lock, v)) {
+      UnlockNodeExNoBump(parent->lock);
       return true;
     }
     const uint16_t idx = FindChildIndex(parent, inner);
@@ -1446,14 +1487,14 @@ class BTree {
     Inner* sibling = left == inner ? right : left;
     // Blocking acquire is deadlock-free: every writer that locks an inner
     // node holds its parent exclusively first, and we hold the parent.
-    sibling->lock.AcquireEx();
+    LockNodeEx(sibling->lock, /*slot=*/1);
 
     const uint16_t l = left->count;
     const uint16_t r = right->count;
     if (l + r + 1 <= kInnerMax && (parent->count >= 2 || parent_is_root)) {
       MergeInners(parent, left_idx, left, right);
-      right->lock.ReleaseExObsolete();
-      left->lock.ReleaseEx();
+      UnlockNodeExObsolete(right->lock);
+      UnlockNodeEx(left->lock);
       RetireNode(right);
       ReleaseParentAfterMerge(parent, parent_is_root);
       return true;
@@ -1466,14 +1507,14 @@ class BTree {
         RotateInnerRight(parent, left_idx, left, right);
       }
       rebalance_borrows_.fetch_add(1, std::memory_order_relaxed);
-      sibling->lock.ReleaseEx();
-      inner->lock.ReleaseEx();
-      parent->lock.ReleaseEx();
+      UnlockNodeEx(sibling->lock);
+      UnlockNodeEx(inner->lock);
+      UnlockNodeEx(parent->lock);
       return true;
     }
-    sibling->lock.ReleaseExNoBump();
-    inner->lock.ReleaseExNoBump();
-    parent->lock.ReleaseExNoBump();
+    UnlockNodeExNoBump(sibling->lock);
+    UnlockNodeExNoBump(inner->lock);
+    UnlockNodeExNoBump(parent->lock);
     return false;
   }
 
@@ -1484,9 +1525,9 @@ class BTree {
                                    bool parent_is_root, Leaf* leaf,
                                    uint64_t v, const Key& key,
                                    bool* result) {
-    if (!parent->lock.TryUpgrade(pv)) return LeafWriteStatus::kRestart;
-    if (!leaf->lock.TryUpgrade(v)) {
-      parent->lock.ReleaseExNoBump();
+    if (!TryUpgradeLock(parent->lock, pv)) return LeafWriteStatus::kRestart;
+    if (!TryUpgradeLock(leaf->lock, v)) {
+      UnlockNodeExNoBump(parent->lock);
       return LeafWriteStatus::kRestart;
     }
     const uint16_t idx = FindChildIndex(parent, leaf);
@@ -1503,14 +1544,14 @@ class BTree {
       left_idx = static_cast<uint16_t>(idx - 1);
     }
     Leaf* sibling = left == leaf ? right : left;
-    sibling->lock.AcquireEx();
+    LockNodeEx(sibling->lock, /*slot=*/1);
 
     const uint16_t l = left->count;
     const uint16_t r = right->count;
     if (l + r <= kLeafMax && (parent->count >= 2 || parent_is_root)) {
       MergeLeaves(parent, left_idx, left, right);
-      right->lock.ReleaseExObsolete();
-      left->lock.ReleaseEx();
+      UnlockNodeExObsolete(right->lock);
+      UnlockNodeEx(left->lock);
       RetireNode(right);
       ReleaseParentAfterMerge(parent, parent_is_root);
       return LeafWriteStatus::kRestart;
@@ -1523,17 +1564,17 @@ class BTree {
         RotateLeafRight(parent, left_idx, left, right);
       }
       rebalance_borrows_.fetch_add(1, std::memory_order_relaxed);
-      sibling->lock.ReleaseEx();
-      leaf->lock.ReleaseEx();
-      parent->lock.ReleaseEx();
+      UnlockNodeEx(sibling->lock);
+      UnlockNodeEx(leaf->lock);
+      UnlockNodeEx(parent->lock);
       return LeafWriteStatus::kRestart;
     }
     // No profitable structural move (tiny geometry, or the siblings are as
     // drained as we are): complete the remove in place.
-    sibling->lock.ReleaseExNoBump();
-    parent->lock.ReleaseExNoBump();
+    UnlockNodeExNoBump(sibling->lock);
+    UnlockNodeExNoBump(parent->lock);
     *result = ApplyToLeaf(leaf, key, nullptr, WriteKind::kRemove);
-    leaf->lock.ReleaseEx();
+    UnlockNodeEx(leaf->lock);
     return LeafWriteStatus::kDone;
   }
 
@@ -1544,10 +1585,10 @@ class BTree {
   // normally and fail their parent validation afterwards.
   LeafWriteStatus RebalanceLeafOptiQl(Inner* parent, uint64_t pv,
                                       bool parent_is_root, Leaf* leaf,
-                                      QNode* qnode, const Key& key,
-                                      bool* result) {
-    if (!parent->lock.TryUpgrade(pv)) {
-      leaf->lock.ReleaseEx(qnode);
+                                      typename LeafOps::ExHandle handle,
+                                      const Key& key, bool* result) {
+    if (!TryUpgradeLock(parent->lock, pv)) {
+      LeafOps::UnlockEx(leaf->lock, handle);
       return LeafWriteStatus::kRestart;
     }
     const uint16_t idx = FindChildIndex(parent, leaf);
@@ -1564,22 +1605,22 @@ class BTree {
       left_idx = static_cast<uint16_t>(idx - 1);
     }
     Leaf* sibling = left == leaf ? right : left;
-    QNode* sibling_qnode = ThreadQNodes::Get(1);
     // Deadlock-free: sibling holders either hold only that leaf (plain leaf
     // writers — they never block on the parent, they validate it) or
     // acquired the parent first (structural passes — excluded, we hold it).
-    sibling->lock.AcquireEx(sibling_qnode);
+    const typename LeafOps::ExHandle sibling_handle =
+        LeafOps::LockEx(sibling->lock, /*slot=*/1);
 
     const uint16_t l = left->count;
     const uint16_t r = right->count;
     if (l + r <= kLeafMax && (parent->count >= 2 || parent_is_root)) {
       MergeLeaves(parent, left_idx, left, right);
       if (right == leaf) {
-        leaf->lock.ReleaseExObsolete(qnode);
-        sibling->lock.ReleaseEx(sibling_qnode);
+        LeafOps::UnlockExObsolete(leaf->lock, handle);
+        LeafOps::UnlockEx(sibling->lock, sibling_handle);
       } else {
-        sibling->lock.ReleaseExObsolete(sibling_qnode);
-        leaf->lock.ReleaseEx(qnode);
+        LeafOps::UnlockExObsolete(sibling->lock, sibling_handle);
+        LeafOps::UnlockEx(leaf->lock, handle);
       }
       RetireNode(right);
       ReleaseParentAfterMerge(parent, parent_is_root);
@@ -1593,17 +1634,17 @@ class BTree {
         RotateLeafRight(parent, left_idx, left, right);
       }
       rebalance_borrows_.fetch_add(1, std::memory_order_relaxed);
-      sibling->lock.ReleaseEx(sibling_qnode);
-      leaf->lock.ReleaseEx(qnode);
-      parent->lock.ReleaseEx();
+      LeafOps::UnlockEx(sibling->lock, sibling_handle);
+      LeafOps::UnlockEx(leaf->lock, handle);
+      UnlockNodeEx(parent->lock);
       return LeafWriteStatus::kRestart;
     }
-    // No profitable move. OptiQL has no bump-free release — a spurious
-    // version bump on the sibling only costs overlapping readers a restart.
-    sibling->lock.ReleaseEx(sibling_qnode);
-    parent->lock.ReleaseExNoBump();
+    // No profitable move; release the sibling with a bump anyway — a
+    // spurious version bump only costs overlapping readers a restart.
+    LeafOps::UnlockEx(sibling->lock, sibling_handle);
+    UnlockNodeExNoBump(parent->lock);
     *result = ApplyToLeaf(leaf, key, nullptr, WriteKind::kRemove);
-    leaf->lock.ReleaseEx(qnode);
+    LeafOps::UnlockEx(leaf->lock, handle);
     return LeafWriteStatus::kDone;
   }
 
@@ -1863,6 +1904,263 @@ class BTree {
       const Key* hi = i == inner->count ? upper : &inner->keys[i];
       CheckSubtree(child, lo, hi, keys);
     }
+  }
+
+ public:
+  // --- Transaction-layer hooks (src/txn/) ---
+  //
+  // Available for the optimistic protocols (the leaf lock carries the
+  // version word OCC validates against — the same word single-key
+  // operations use, not a shadow table). The hooks assume the CCBench-style
+  // transactional workload model: a fixed key population, with structural
+  // modifications (Insert/Remove) quiesced while transactions run. Index
+  // writers performing splits/merges block on leaf locks while holding
+  // inner locks, which a transaction holding leaves could not safely spin
+  // against.
+  //
+  // The caller (a TxnContext) holds one EpochGuard for the whole
+  // transaction, so leaf pointers captured here stay dereferenceable until
+  // it commits or aborts.
+
+  using TxnLock = LeafLock;
+
+  struct TxnReadResult {
+    bool found = false;
+    Value value{};
+    const LeafLock* lock = nullptr;  // leaf lock guarding the record
+    uint64_t version = 0;            // validated snapshot of that word
+  };
+
+  // OCC execution-phase read: a validated snapshot of the record plus the
+  // leaf word commit-time validation re-checks. Must not be called while
+  // the transaction holds leaf locks (it can spin on a held leaf).
+  void TxnRead(const Key& key, TxnReadResult& out) const
+    requires(kProtocol != BTreeProtocol::kCoupling)
+  {
+    RestartCounter restarts(read_restarts_);
+    while (true) {
+      restarts.Tick();
+      NodeBase* node = root_.load(std::memory_order_acquire);
+      uint64_t v;
+      if (!ReadLockNode(node, v)) continue;
+      if (node != root_.load(std::memory_order_acquire)) continue;
+
+      bool restart = false;
+      while (!IsLeaf(node)) {
+        const Inner* inner = AsInner(node);
+        const uint16_t n = LoadCount(inner, kInnerMax);
+        NodeBase* child = inner->children[inner->ChildIndex(key, n)];
+        PrefetchNodeHeader(child);
+        if (!Validate(inner->lock, v)) {
+          restart = true;
+          break;
+        }
+        uint64_t cv;
+        if (!ReadLockNode(child, cv)) {
+          restart = true;
+          break;
+        }
+        if (!Validate(inner->lock, v)) {
+          restart = true;
+          break;
+        }
+        node = child;
+        v = cv;
+      }
+      if (restart) continue;
+
+      const Leaf* leaf = AsLeaf(node);
+      const uint16_t n = LoadCount(leaf, kLeafMax);
+      const uint16_t pos = leaf->LowerBound(key, n);
+      bool found = false;
+      Value value{};
+      if (pos < n && leaf->keys[pos] == key) {
+        found = true;
+        value = leaf->values[pos];
+      }
+      if (!Validate(leaf->lock, v)) continue;
+      out.found = found;
+      out.value = value;
+      out.lock = &leaf->lock;
+      out.version = v;
+      return;
+    }
+  }
+
+  // Exclusive record hold for the transaction layer. Non-owning guards
+  // piggyback on a leaf the transaction already holds (two keys can share
+  // a leaf), so only the owning guard releases.
+  class TxnWriteGuard {
+   public:
+    TxnWriteGuard() = default;
+
+    const LeafLock* LockPtr() const { return &leaf_->lock; }
+    Value Read() const { return leaf_->values[pos_]; }
+    void Install(const Value& value) {
+      OPTIQL_INVARIANT(leaf_ != nullptr,
+                       "Install on a guard that never locked a record");
+      leaf_->values[pos_] = value;
+    }
+    uint64_t HeldVersion() const {
+      return LeafOps::HeldVersion(leaf_->lock, handle_);
+    }
+    bool owns() const { return owns_; }
+
+    // Releases the leaf. `installed` == false releases without a version
+    // bump where the family supports it, so pure-abort unlocks do not
+    // invalidate concurrent readers.
+    void Unlock(bool installed) {
+      if (!owns_) return;
+      owns_ = false;
+      if constexpr (LeafOps::kHasNoBump) {
+        if (!installed) {
+          LeafOps::UnlockExNoBump(leaf_->lock, handle_);
+          return;
+        }
+      }
+      (void)installed;
+      LeafOps::UnlockEx(leaf_->lock, handle_);
+    }
+
+   private:
+    friend class BTree;
+    Leaf* leaf_ = nullptr;
+    uint16_t pos_ = 0;
+    bool owns_ = false;
+    typename LeafOps::ExHandle handle_{};
+  };
+
+  // Commit-time record lock, blocking: queue-based leaf locks wait in the
+  // leaf queue. After acquiring, a fresh descent confirms the locked leaf
+  // still covers `key` — coverage is then frozen for as long as we hold it
+  // (every split/merge/rotation of a leaf requires its lock).
+  // `already_held` reports leaf locks this transaction already owns.
+  template <class HeldContains>
+  TxnLockStatus TxnLockForWrite(const Key& key, int slot,
+                                const HeldContains& already_held,
+                                TxnWriteGuard& guard)
+    requires(kProtocol != BTreeProtocol::kCoupling)
+  {
+    while (true) {
+      Leaf* leaf = TxnDescendToLeaf(key);
+      if (already_held(&leaf->lock)) {
+        return BindHeldGuard(leaf, key, guard);
+      }
+      guard.handle_ = LeafOps::LockEx(leaf->lock, slot);
+      guard.leaf_ = leaf;
+      guard.owns_ = true;
+      if (LeafOps::IsObsolete(leaf->lock) || TxnDescendToLeaf(key) != leaf) {
+        guard.Unlock(/*installed=*/false);
+        continue;
+      }
+      const uint16_t n = LoadCount(leaf, kLeafMax);
+      const uint16_t pos = leaf->LowerBound(key, n);
+      if (pos < n && leaf->keys[pos] == key) {
+        guard.pos_ = pos;
+        return TxnLockStatus::kAcquired;
+      }
+      guard.Unlock(/*installed=*/false);
+      return TxnLockStatus::kAbsent;
+    }
+  }
+
+  // No-wait variant (2PL deadlock avoidance): the record is locked by
+  // promoting a validated leaf snapshot (TryUpgrade), so a competing
+  // holder or a concurrent change both come back kBusy, never a wait.
+  template <class HeldContains>
+  TxnLockStatus TxnTryLockForWrite(const Key& key, int slot,
+                                   const HeldContains& already_held,
+                                   TxnWriteGuard& guard)
+    requires(kProtocol != BTreeProtocol::kCoupling)
+  {
+    Leaf* leaf = TxnDescendToLeaf(key);
+    if (already_held(&leaf->lock)) {
+      return BindHeldGuard(leaf, key, guard);
+    }
+    uint64_t v;
+    if (!LeafOps::StableVersion(leaf->lock, v)) return TxnLockStatus::kBusy;
+    const uint16_t n = LoadCount(leaf, kLeafMax);
+    const uint16_t pos = leaf->LowerBound(key, n);
+    const bool found = pos < n && leaf->keys[pos] == key;
+    if (!LeafOps::ValidateVersion(leaf->lock, v)) return TxnLockStatus::kBusy;
+    if (!found) return TxnLockStatus::kAbsent;
+    if (!LeafOps::TryUpgrade(leaf->lock, v, slot, guard.handle_)) {
+      return TxnLockStatus::kBusy;
+    }
+    guard.leaf_ = leaf;
+    guard.pos_ = pos;
+    guard.owns_ = true;
+    return TxnLockStatus::kAcquired;
+  }
+
+  // Deadlock-avoidance rank: leaf ranges are ordered by key, so
+  // transactions that lock their write sets in ascending key order acquire
+  // leaf locks in a consistent global order.
+  static std::pair<uint64_t, uint64_t> TxnLockRank(const Key& key)
+    requires(kProtocol != BTreeProtocol::kCoupling)
+  {
+    return {static_cast<uint64_t>(key), 0};
+  }
+
+ private:
+  // Descends to the leaf covering `key` WITHOUT reading the leaf's own
+  // version word — the caller may already hold that leaf exclusively, and
+  // a version read would spin on our own lock. The returned pointer is
+  // parent-validated: the last inner's separators were read under a
+  // validated version, so the leaf covered `key` at that instant.
+  Leaf* TxnDescendToLeaf(const Key& key) const
+    requires(kProtocol != BTreeProtocol::kCoupling)
+  {
+    while (true) {
+      NodeBase* node = root_.load(std::memory_order_acquire);
+      // Root-is-leaf short-circuit before any version read (we might hold
+      // the root leaf); a stale root is caught by the caller's
+      // obsolete/coverage checks.
+      if (IsLeaf(node)) return AsLeaf(node);
+      uint64_t v;
+      if (!ReadLockNode(node, v)) continue;
+      if (node != root_.load(std::memory_order_acquire)) continue;
+
+      bool restart = false;
+      while (!restart) {
+        const Inner* inner = AsInner(node);
+        const uint16_t n = LoadCount(inner, kInnerMax);
+        NodeBase* child = inner->children[inner->ChildIndex(key, n)];
+        PrefetchNodeHeader(child);
+        if (!Validate(inner->lock, v)) {
+          restart = true;
+          break;
+        }
+        // `child` is now trustworthy; its level field is immutable.
+        if (IsLeaf(child)) return AsLeaf(child);
+        uint64_t cv;
+        if (!ReadLockNode(child, cv)) {
+          restart = true;
+          break;
+        }
+        if (!Validate(inner->lock, v)) {
+          restart = true;
+          break;
+        }
+        node = child;
+        v = cv;
+      }
+    }
+  }
+
+  // Completes a guard over a leaf this transaction already holds: the leaf
+  // is stable under our own exclusive hold, so a plain search suffices.
+  TxnLockStatus BindHeldGuard(Leaf* leaf, const Key& key,
+                              TxnWriteGuard& guard) {
+    guard.leaf_ = leaf;
+    guard.owns_ = false;
+    const uint16_t n = LoadCount(leaf, kLeafMax);
+    const uint16_t pos = leaf->LowerBound(key, n);
+    if (pos < n && leaf->keys[pos] == key) {
+      guard.pos_ = pos;
+      return TxnLockStatus::kAcquired;
+    }
+    return TxnLockStatus::kAbsent;
   }
 
   std::atomic<NodeBase*> root_;

@@ -25,6 +25,8 @@
 #include <utility>
 #include <vector>
 
+#include "sync/txn_ops.h"
+
 namespace optiql {
 
 // --- Capability detection (defined HERE and nowhere else) ------------------
@@ -85,6 +87,48 @@ template <class Index>
 concept HasCheckInvariantsOp = requires(const Index t) {
   t.CheckInvariants();
 };
+
+// --- Transaction-host capabilities -----------------------------------------
+//
+// An index is a transaction host when it exposes its record-guarding locks
+// to the protocols in src/txn/ through the TxnOps<TxnLock> contract:
+// TxnLockRank orders commit-time acquisition, TxnWriteGuard is the
+// exclusive record hold, and TxnLockForWrite / TxnTryLockForWrite (template
+// members, checked at use) resolve a key to a locked record.
+
+template <class Index>
+concept TxnHostIndex = requires(const Index c, uint64_t k) {
+  typename Index::TxnLock;
+  typename Index::TxnWriteGuard;
+  { c.TxnLockRank(k) } -> std::same_as<std::pair<uint64_t, uint64_t>>;
+};
+
+// Versioned host: records carry a validatable version word, so OCC can
+// run its execution phase lock-free (TxnRead) and validate at commit
+// against the same words the single-key operations use.
+template <class Index>
+concept TxnVersionedHost =
+    TxnHostIndex<Index> && VersionedLock<typename Index::TxnLock> &&
+    requires(const Index c, uint64_t k, typename Index::TxnReadResult& r) {
+      c.TxnRead(k, r);
+    };
+
+// Shared-mode host: records are guarded by pessimistic reader-writer
+// locks, so 2PL reads hold them shared (TxnTryReadShared) instead of
+// validating versions. A write into a record this transaction already
+// reads shared must atomically upgrade the hold (a no-wait retry of the
+// self-collision would repeat forever), so the host must expose the lock
+// address and the upgrade hook — which excludes shared-mode families
+// without an atomic upgrade (TxnOps kHasShUpgrade, e.g. shared_mutex).
+template <class Index>
+concept TxnSharedReadHost =
+    TxnHostIndex<Index> && SharedModeLock<typename Index::TxnLock> &&
+    requires(Index m, const Index c, uint64_t k, int slot, uint32_t n,
+             typename Index::TxnWriteGuard& g) {
+      { c.TxnLockAddr(k) } -> std::same_as<const typename Index::TxnLock*>;
+      { m.TxnTryUpgradeForWrite(k, slot, n, g) } ->
+          std::same_as<TxnLockStatus>;
+    };
 
 // --- Uniform point operations ----------------------------------------------
 //

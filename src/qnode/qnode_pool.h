@@ -126,12 +126,17 @@ class QNodePool {
 
 // Per-thread cache of queue nodes, keyed by ThreadRegistry ID. Index
 // operations hold at most three queue-based locks at a time (parent + node +
-// sibling during delete-time rebalancing); we cache four per thread for
-// headroom. Nodes are lazily acquired from the global pool on first use and
-// flushed back by a registry exit hook when the thread deregisters.
+// sibling during delete-time rebalancing; slots 0..2), and the transaction
+// layer holds up to kMaxTxnLocks write locks at commit (slots
+// kTxnSlotBase..). Nodes are lazily acquired from the global pool on first
+// use and flushed back by a registry exit hook when the thread deregisters.
 class ThreadQNodes {
  public:
-  static constexpr int kNodesPerThread = 4;
+  static constexpr int kNodesPerThread = 16;
+  // Slots reserved for the txn layer (src/txn/): index ops use 0..2, so a
+  // txn commit that re-enters the index still has its own disjoint range.
+  static constexpr int kTxnSlotBase = 4;
+  static constexpr int kMaxTxnLocks = kNodesPerThread - kTxnSlotBase;
 
   // Returns this thread's i-th cached queue node (0 <= i < kNodesPerThread).
   // Aborts if the global pool is exhausted: that means the system was

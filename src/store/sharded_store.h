@@ -49,9 +49,34 @@ struct HashShardRouter {
   }
 };
 
+namespace internal {
+
+// Conditionally inherited transaction-host typedefs: only a store over a
+// transaction-hosting shard type re-exports the shard's hook types (an
+// unconditional member alias would break instantiation for plain shards).
+template <class Index, bool = TxnHostIndex<Index>>
+struct ShardTxnTypes {};
+
+template <class Index>
+struct ShardTxnTypes<Index, true> {
+  using TxnLock = typename Index::TxnLock;
+  using TxnWriteGuard = typename Index::TxnWriteGuard;
+};
+
+template <class Index, bool = TxnVersionedHost<Index>>
+struct ShardTxnReadTypes {};
+
+template <class Index>
+struct ShardTxnReadTypes<Index, true> {
+  using TxnReadResult = typename Index::TxnReadResult;
+};
+
+}  // namespace internal
+
 template <class Index, class Router = HashShardRouter>
   requires IndexLike<Index>
-class ShardedStore {
+class ShardedStore : public internal::ShardTxnTypes<Index>,
+                     public internal::ShardTxnReadTypes<Index> {
  public:
   static constexpr size_t kDefaultShards = 8;
 
@@ -196,6 +221,68 @@ class ShardedStore {
     requires HasCheckInvariantsOp<Index>
   {
     for (const auto& shard : shards_) shard->CheckInvariants();
+  }
+
+  // --- Transaction-layer hooks: route to the owning shard ---
+  //
+  // The store is itself a transaction host whenever its shards are; every
+  // hook forwards to ShardFor(key). No extra EpochGuard here — the
+  // transaction holds one for its whole lifetime.
+
+  // The hook types come in through a defaulted function-level parameter
+  // (I = Index) so the signatures only require them on a transaction-
+  // hosting shard type, not at every store instantiation.
+
+  template <class I = Index>
+    requires TxnVersionedHost<I>
+  void TxnRead(uint64_t key, typename I::TxnReadResult& out) const {
+    ShardFor(key).TxnRead(key, out);
+  }
+
+  template <class HeldContains, class I = Index>
+    requires TxnHostIndex<I>
+  TxnLockStatus TxnLockForWrite(uint64_t key, int slot,
+                                const HeldContains& already_held,
+                                typename I::TxnWriteGuard& guard) {
+    return ShardFor(key).TxnLockForWrite(key, slot, already_held, guard);
+  }
+
+  template <class HeldContains, class I = Index>
+    requires TxnHostIndex<I>
+  TxnLockStatus TxnTryLockForWrite(uint64_t key, int slot,
+                                   const HeldContains& already_held,
+                                   typename I::TxnWriteGuard& guard) {
+    return ShardFor(key).TxnTryLockForWrite(key, slot, already_held, guard);
+  }
+
+  template <class HeldContains, class I = Index>
+    requires TxnSharedReadHost<I>
+  TxnLockStatus TxnTryReadShared(uint64_t key, const HeldContains& held_ex,
+                                 bool& found, uint64_t& value,
+                                 const typename I::TxnLock*& lock) {
+    return ShardFor(key).TxnTryReadShared(key, held_ex, found, value, lock);
+  }
+
+  template <class I = Index>
+    requires TxnSharedReadHost<I>
+  const typename I::TxnLock* TxnLockAddr(uint64_t key) const {
+    return ShardFor(key).TxnLockAddr(key);
+  }
+
+  template <class I = Index>
+    requires TxnSharedReadHost<I>
+  TxnLockStatus TxnTryUpgradeForWrite(uint64_t key, int slot,
+                                      uint32_t my_holds,
+                                      typename I::TxnWriteGuard& guard) {
+    return ShardFor(key).TxnTryUpgradeForWrite(key, slot, my_holds, guard);
+  }
+
+  // Ranks order by shard first, then by the shard's own rank, so the
+  // cross-shard acquisition order every transaction uses is consistent.
+  std::pair<uint64_t, uint64_t> TxnLockRank(uint64_t key) const
+    requires TxnHostIndex<Index>
+  {
+    return {ShardIndexOf(key), ShardFor(key).TxnLockRank(key).first};
   }
 
  private:

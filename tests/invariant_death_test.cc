@@ -15,6 +15,7 @@
 #include "core/optiql.h"
 #include "gtest/gtest.h"
 #include "index/btree.h"
+#include "index/hash_table.h"
 #include "locks/clh_lock.h"
 #include "locks/hybrid_lock.h"
 #include "locks/mcs_lock.h"
@@ -23,6 +24,8 @@
 #include "locks/ticket_lock.h"
 #include "locks/tts_lock.h"
 #include "qnode/qnode_pool.h"
+#include "sync/txn_ops.h"
+#include "txn/txn.h"
 
 namespace optiql {
 
@@ -245,6 +248,46 @@ TEST_F(InvariantDeathTest, BTreeSplitPublishedWithUnlockedLeftHalf) {
   ASSERT_GE(tree.Height(), 2);
   EXPECT_DEATH(BTreeTestPeer::PublishSplitWithUnlockedLeft(tree),
                kDeathMessage);
+}
+
+// --- Transaction-layer misuse (src/txn/ + the TxnOps facade) ---
+//
+// The transaction protocols have their own lifecycle invariants on top of
+// the lock state machines: a finished transaction is dead, a guard that
+// never locked a record cannot install, and releasing through TxnOps
+// still trips the underlying lock's double-release check.
+
+TEST_F(InvariantDeathTest, TxnCommitTwice) {
+  HashTable<HashOlcPolicy> table;
+  ASSERT_TRUE(table.Insert(1, 10));
+  OccTxn<HashTable<HashOlcPolicy>> txn(table);
+  uint64_t out = 0;
+  ASSERT_EQ(txn.Get(1, out), TxnResult::kOk);
+  ASSERT_TRUE(txn.Commit());
+  EXPECT_DEATH(txn.Commit(), kDeathMessage);
+}
+
+TEST_F(InvariantDeathTest, TxnPutAfterAbort) {
+  HashTable<HashOlcPolicy> table;
+  ASSERT_TRUE(table.Insert(1, 10));
+  TwoPlTxn<HashTable<HashOlcPolicy>> txn(table);
+  uint64_t out = 0;
+  ASSERT_EQ(txn.Get(1, out), TxnResult::kOk);
+  txn.Abort();
+  EXPECT_DEATH(txn.Put(1, 11), kDeathMessage);
+}
+
+TEST_F(InvariantDeathTest, TxnGuardInstallWithoutLockedRecord) {
+  HashTable<HashOlcPolicy>::TxnWriteGuard guard;
+  EXPECT_DEATH(guard.Install(1), kDeathMessage);
+}
+
+TEST_F(InvariantDeathTest, TxnOpsDoubleUnlockEx) {
+  OptLock lock;
+  const TxnOps<OptLock>::ExHandle handle =
+      TxnOps<OptLock>::LockEx(lock, /*slot=*/0);
+  TxnOps<OptLock>::UnlockEx(lock, handle);
+  EXPECT_DEATH(TxnOps<OptLock>::UnlockEx(lock, handle), kDeathMessage);
 }
 
 #else  // !OPTIQL_CHECK_INVARIANTS

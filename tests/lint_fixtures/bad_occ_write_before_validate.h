@@ -1,0 +1,28 @@
+// Known-bad fixture: a value published inside an OCC read section before
+// the snapshot validates. The read under `v` may already be inconsistent
+// (a writer can be mid-install), so feeding it into a store is a dirty
+// write — OCC requires ValidateVersion() first, then an exclusive lock.
+// EXPECT-FAIL: occ-write-before-validate
+#ifndef OPTIQL_TESTS_LINT_FIXTURES_BAD_OCC_WRITE_BEFORE_VALIDATE_H_
+#define OPTIQL_TESTS_LINT_FIXTURES_BAD_OCC_WRITE_BEFORE_VALIDATE_H_
+
+#include <atomic>
+#include <cstdint>
+
+struct Record {
+  std::atomic<uint64_t> value;
+  Lock lock;
+};
+
+// BUG: bumps the record under an unvalidated snapshot, then validates as
+// if the section had been read-only. Any spelling of the contract names
+// must be seen — this one is `TxnOps<Lock>::`-qualified.
+inline bool BumpUnderSnapshot(Record* rec) {
+  uint64_t v;
+  if (!TxnOps<Lock>::StableVersion(rec->lock, v)) return false;
+  const uint64_t seen = rec->value.load(std::memory_order_relaxed);
+  rec->value.store(seen + 1, std::memory_order_relaxed);
+  return TxnOps<Lock>::ValidateVersion(rec->lock, v);
+}
+
+#endif  // OPTIQL_TESTS_LINT_FIXTURES_BAD_OCC_WRITE_BEFORE_VALIDATE_H_

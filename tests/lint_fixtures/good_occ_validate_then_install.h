@@ -1,0 +1,42 @@
+// Known-good fixture: the OCC read-validate-lock-install order the
+// transaction layer uses. Reads happen under the snapshot, the snapshot
+// validates, and only then — under the exclusive lock — is the new value
+// published. The self-test requires zero findings on this file.
+#ifndef OPTIQL_TESTS_LINT_FIXTURES_GOOD_OCC_VALIDATE_THEN_INSTALL_H_
+#define OPTIQL_TESTS_LINT_FIXTURES_GOOD_OCC_VALIDATE_THEN_INSTALL_H_
+
+#include <atomic>
+#include <cstdint>
+
+struct Record {
+  std::atomic<uint64_t> value;
+  Lock lock;
+};
+
+// Read-modify-write done right: the store is outside the read section,
+// after validation, under LockEx. Loads inside the section are fine —
+// OCC reads under the snapshot by design.
+inline bool BumpValidated(Record* rec) {
+  uint64_t v;
+  if (!Ops::StableVersion(rec->lock, v)) return false;
+  const uint64_t seen = rec->value.load(std::memory_order_relaxed);
+  if (!Ops::ValidateVersion(rec->lock, v)) return false;
+  const auto handle = Ops::LockEx(rec->lock, 0);
+  rec->value.store(seen + 1, std::memory_order_relaxed);
+  Ops::UnlockEx(rec->lock, handle);
+  return true;
+}
+
+// Bail leg: a failed snapshot abandons the section immediately; the
+// retry loop's only return follows a validation.
+inline uint64_t ReadValidated(const Record* rec) {
+  while (true) {
+    uint64_t v;
+    if (!Ops::StableVersion(rec->lock, v)) continue;
+    const uint64_t seen = rec->value.load(std::memory_order_relaxed);
+    if (!Ops::ValidateVersion(rec->lock, v)) continue;
+    return seen;
+  }
+}
+
+#endif  // OPTIQL_TESTS_LINT_FIXTURES_GOOD_OCC_VALIDATE_THEN_INSTALL_H_

@@ -26,11 +26,11 @@
 #include "locks/mcs_lock.h"
 #include "locks/mcs_rw_lock.h"
 #include "locks/optlock.h"
-#include "locks/pessimistic_ops.h"
 #include "locks/shared_mutex_lock.h"
 #include "locks/ticket_lock.h"
 #include "locks/tts_lock.h"
 #include "qnode/qnode_pool.h"
+#include "sync/txn_ops.h"
 
 namespace optiql {
 namespace tsa_conformance {
@@ -128,23 +128,48 @@ void OptLockCorrect() {
   if (lock.TryUpgrade(v)) lock.ReleaseEx();
 }
 
-// --- PessimisticOps facade: forwards the capability through the template
-// specializations, so callers are checked exactly like direct users. ---
+// --- TxnOps facade (shared-mode families): forwards the capability through
+// the template specializations, so callers are checked exactly like direct
+// users — including the no-wait surface the transaction layer relies on. ---
 
-void PessimisticOpsCorrect() {
+void TxnOpsCorrect() {
   McsRwLock rw;
-  using POps = internal::PessimisticOps<McsRwLock>;
-  POps::AcquireSh(rw, 0);
-  POps::ReleaseSh(rw, 0);
-  POps::AcquireEx(rw, 0);
-  POps::ReleaseEx(rw, 0);
+  using ROps = TxnOps<McsRwLock>;
+  ROps::LockSh(rw, 0);
+  ROps::UnlockSh(rw, 0);
+  ROps::LockEx(rw, 0);
+  ROps::UnlockEx(rw, 0);
+  ROps::ExHandle rh{};
+  if (ROps::TryLockEx(rw, 0, rh)) ROps::UnlockEx(rw, rh);
+  if (ROps::TryLockSh(rw)) ROps::UnlockShNoQueue(rw);
 
   SharedMutexLock sm;
-  using SOps = internal::PessimisticOps<SharedMutexLock>;
-  SOps::AcquireSh(sm, 0);
-  SOps::ReleaseSh(sm, 0);
-  SOps::AcquireEx(sm, 0);
-  SOps::ReleaseEx(sm, 0);
+  using SOps = TxnOps<SharedMutexLock>;
+  SOps::LockSh(sm, 0);
+  SOps::UnlockSh(sm, 0);
+  SOps::LockEx(sm, 0);
+  SOps::UnlockEx(sm, 0);
+  SOps::ExHandle sh{};
+  if (SOps::TryLockEx(sm, 0, sh)) SOps::UnlockEx(sm, sh);
+  if (SOps::TryLockSh(sm)) SOps::UnlockShNoQueue(sm);
+}
+
+// Shared→exclusive upgrade: TSA cannot express a conditional mode
+// conversion (the failure branch still holds shared, the success branch
+// turned it exclusive without a visible acquire), so the exercise opts
+// out — the point here is instantiating the real API, which stays honest
+// against the annotated UnlockEx/UnlockShNoQueue it pairs with.
+void TxnOpsUpgradeCorrect() OPTIQL_NO_THREAD_SAFETY_ANALYSIS {
+  McsRwLock rw;
+  using ROps = TxnOps<McsRwLock>;
+  if (ROps::TryLockSh(rw)) {
+    ROps::ExHandle handle{};
+    if (ROps::TryUpgradeSh(rw, 0, /*my_holds=*/1, handle)) {
+      ROps::UnlockEx(rw, handle);
+    } else {
+      ROps::UnlockShNoQueue(rw);
+    }
+  }
 }
 
 // --- Coupling index instantiations: calling the public ops instantiates
