@@ -6,6 +6,8 @@
 //   --records=N         index preload size (default: env or 100000)
 //   --dist=SPEC         key-access distribution: uniform | zipf[:theta]
 //                       | selfsimilar[:skew] (default: per-binary)
+//   --batch=N           issue point reads as batches of N through the
+//                       batched op surface (default 1 = single ops)
 //   --full              paper-scale parameters (slower)
 //   --json[=PATH]       also emit results as a JSON array (benches that
 //                       support it write BENCH_<name>.json by default)
@@ -138,6 +140,7 @@ struct BenchFlags {
   std::string json_path;  // Empty: the binary picks its default name.
   KeyDist dist;           // --dist; dist_given says it was set explicitly
   bool dist_given = false;  // (binaries keep their own default otherwise).
+  int batch = 1;          // --batch; 1 = single-op mode.
 
   static BenchFlags Parse(int argc, char** argv) {
     BenchFlags flags;
@@ -169,6 +172,12 @@ struct BenchFlags {
           std::exit(2);
         }
         flags.dist_given = true;
+      } else if (arg.rfind("--batch=", 0) == 0) {
+        flags.batch = std::atoi(arg.c_str() + 8);
+        if (flags.batch < 1) {
+          std::fprintf(stderr, "bad --batch (want >= 1): %s\n", arg.c_str());
+          std::exit(2);
+        }
       } else if (arg == "--full") {
         flags.full = true;
         flags.duration_ms = 1000;
@@ -181,7 +190,7 @@ struct BenchFlags {
       } else if (arg == "--help" || arg == "-h") {
         std::printf(
             "usage: %s [--threads=a,b,c] [--duration=ms] [--records=n] "
-            "[--dist=spec] [--full] [--json[=path]]\n",
+            "[--dist=spec] [--batch=n] [--full] [--json[=path]]\n",
             argv[0]);
         std::exit(0);
       }

@@ -1,11 +1,17 @@
 // Extension: YCSB core workloads A–F on the B+-tree, OptLock vs OptiQL.
 // The paper evaluates PiBench-style fixed mixes; YCSB adds the
 // industry-standard mixes including scans (E) and read-modify-write (F),
-// with Zipfian and latest-biased request distributions.
+// with Zipfian and latest-biased request distributions. Everything shared
+// comes from bench_common.h (mix tables, --dist parsing, KeySampler) and
+// the uniform index surface (PreloadIndex + IndexLookup/... dispatch);
+// --batch=N adds rows that issue the read arm through IndexLookupBatch,
+// so YCSB-C doubles as a demo of the batched read path.
+#include <memory>
 #include <vector>
 
 #include "bench_common.h"
 #include "harness/bench_runner.h"
+#include "harness/index_bench.h"
 #include "harness/table_printer.h"
 #include "index_bench_common.h"
 
@@ -14,11 +20,11 @@ namespace {
 
 template <class Tree>
 double RunYcsb(const BenchFlags& flags, const YcsbWorkload& workload,
-               int threads) {
+               int threads, int batch) {
   auto tree = std::make_unique<Tree>();
-  for (uint64_t k = 0; k < flags.records; ++k) {
-    OPTIQL_CHECK(tree->Insert(k, k));
-  }
+  IndexWorkload preload;
+  preload.records = flags.records;
+  PreloadIndex(*tree, preload);
   std::atomic<uint64_t> next_insert{flags.records};
 
   RunOptions options;
@@ -28,44 +34,64 @@ double RunYcsb(const BenchFlags& flags, const YcsbWorkload& workload,
   const KeyDist dist =
       flags.dist_given ? flags.dist : KeyDist::Zipfian(0.99);
   const KeySampler sampler(dist, flags.records);
+  const size_t read_batch = batch > 1 ? static_cast<size_t>(batch) : 1;
 
   const RunResult result = RunFixedDuration(
       options,
       [&](int tid, const std::atomic<bool>& stop, WorkerStats& stats) {
         Xoshiro256 rng(0x9c5bULL * 271 + static_cast<uint64_t>(tid));
         std::vector<std::pair<uint64_t, uint64_t>> scan_buffer;
-        while (!stop.load(std::memory_order_acquire)) {
-          uint64_t key;
+        std::vector<uint64_t> keys(read_batch);
+        std::vector<uint64_t> values(read_batch);
+        const std::unique_ptr<bool[]> found(new bool[read_batch]);
+        const auto draw = [&]() -> uint64_t {
           if (workload.latest) {
             // "Latest": skew rank 0 = the newest inserted key.
             const uint64_t limit =
                 next_insert.load(std::memory_order_relaxed);
             const uint64_t back = sampler.Next(rng) % limit;
-            key = limit - 1 - back;
-          } else {
-            key = sampler.Next(rng);
+            return limit - 1 - back;
           }
+          return sampler.Next(rng);
+        };
+        while (!stop.load(std::memory_order_acquire)) {
+          const uint64_t key = draw();
           const uint64_t roll = rng.NextBounded(100);
           if (roll < static_cast<uint64_t>(workload.read_pct)) {
-            uint64_t out = 0;
-            tree->Lookup(key, out);
+            if (read_batch > 1) {
+              keys[0] = key;
+              for (size_t i = 1; i < read_batch; ++i) keys[i] = draw();
+              IndexLookupBatch(*tree, keys.data(), read_batch,
+                               values.data(), found.get());
+              stats.ops += read_batch - 1;  // +1 at the loop bottom.
+            } else {
+              uint64_t out = 0;
+              IndexLookup(*tree, key, out);
+            }
           } else if (roll < static_cast<uint64_t>(workload.read_pct +
                                                   workload.update_pct)) {
-            tree->Update(key, rng.Next());
+            IndexUpdate(*tree, key, rng.Next());
           } else if (roll <
                      static_cast<uint64_t>(workload.read_pct +
                                            workload.update_pct +
                                            workload.insert_pct)) {
             const uint64_t fresh =
                 next_insert.fetch_add(1, std::memory_order_relaxed);
-            tree->Insert(fresh, fresh);
+            IndexInsert(*tree, fresh, fresh);
           } else if (roll < static_cast<uint64_t>(
                                 workload.read_pct + workload.update_pct +
                                 workload.insert_pct + workload.scan_pct)) {
-            tree->Scan(key, 1 + rng.NextBounded(100), scan_buffer);
+            if constexpr (HasScanOp<Tree>) {
+              IndexScan(*tree, key, 1 + rng.NextBounded(100), scan_buffer);
+            } else {
+              uint64_t out = 0;
+              IndexLookup(*tree, key, out);  // Degraded: point probe.
+            }
           } else {  // RMW
             uint64_t out = 0;
-            if (tree->Lookup(key, out)) tree->Update(key, out + 1);
+            if (IndexLookup(*tree, key, out)) {
+              IndexUpdate(*tree, key, out + 1);
+            }
           }
           ++stats.ops;
         }
@@ -91,12 +117,28 @@ int main(int argc, char** argv) {
     std::vector<std::string> row_optiql = {"OptiQL"};
     for (int threads : flags.threads) {
       row_optlock.push_back(TablePrinter::Fmt(
-          RunYcsb<BTreeOptLock>(flags, workload, threads)));
+          RunYcsb<BTreeOptLock>(flags, workload, threads, /*batch=*/1)));
       row_optiql.push_back(TablePrinter::Fmt(
-          RunYcsb<BTreeOptiQl>(flags, workload, threads)));
+          RunYcsb<BTreeOptiQl>(flags, workload, threads, /*batch=*/1)));
     }
     table.AddRow(std::move(row_optlock));
     table.AddRow(std::move(row_optiql));
+    if (flags.batch > 1) {
+      // Batched read rows: the read arm goes through IndexLookupBatch
+      // (interleaved descents + one epoch guard per batch).
+      std::vector<std::string> row_optlock_b = {
+          "OptLock (batch=" + std::to_string(flags.batch) + ")"};
+      std::vector<std::string> row_optiql_b = {
+          "OptiQL (batch=" + std::to_string(flags.batch) + ")"};
+      for (int threads : flags.threads) {
+        row_optlock_b.push_back(TablePrinter::Fmt(
+            RunYcsb<BTreeOptLock>(flags, workload, threads, flags.batch)));
+        row_optiql_b.push_back(TablePrinter::Fmt(
+            RunYcsb<BTreeOptiQl>(flags, workload, threads, flags.batch)));
+      }
+      table.AddRow(std::move(row_optlock_b));
+      table.AddRow(std::move(row_optiql_b));
+    }
     table.Print();
     std::printf("\n");
   }

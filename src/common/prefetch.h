@@ -1,0 +1,58 @@
+// Shared descent-prefetch helpers for the index traversal paths.
+//
+// Every index in the repo leans on the same idiom: read a child pointer
+// optimistically (possibly torn, possibly tagged), issue a prefetch for it
+// BEFORE validating the parent's version, and only dereference it after the
+// validation succeeds. Prefetch instructions are hints and never fault, so
+// this is safe on any pointer value — that property is what lets the
+// child's cache miss overlap the validation (and, in the interleaved batch
+// paths, the work of all the other in-flight descents).
+//
+// The B+-tree, ART and the coupling variants each grew a private copy of
+// the pattern; this header is the one home for it:
+//
+//   PrefetchLines<K>(p)     warm the first K cachelines at p
+//   PrefetchLinesFor(bytes) the K covering an object of `bytes` bytes
+//   PrefetchTagged(p, mask) untag a pointer-with-flag-bits, then warm its
+//                           first line (ART's leaf-tagged child slots)
+#ifndef OPTIQL_COMMON_PREFETCH_H_
+#define OPTIQL_COMMON_PREFETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/platform.h"
+
+namespace optiql {
+
+// Number of whole cachelines covering an object of `bytes` bytes — the
+// cacheline-count parameter for PrefetchLines at a given node geometry.
+constexpr std::size_t PrefetchLinesFor(std::size_t bytes) {
+  return (bytes + kCachelineSize - 1) / kCachelineSize;
+}
+
+// Warms the first kLines cachelines starting at `p` (compile-time count so
+// the loop unrolls into straight-line prefetch instructions). Safe on
+// unvalidated pointers: prefetch never faults.
+template <std::size_t kLines>
+inline void PrefetchLines(const void* p) {
+  static_assert(kLines >= 1, "prefetch at least the first line");
+  const char* c = static_cast<const char*>(p);
+  for (std::size_t line = 0; line < kLines; ++line) {
+    PrefetchRead(c + line * kCachelineSize);
+  }
+}
+
+// Untags a pointer carrying flag bits in its low bits (ART tags leaf
+// records with bit 0) and warms its first cacheline. The pointer may be
+// torn — read before the parent's version validated — as well as tagged;
+// both are fine for a prefetch hint. Null is ignored.
+inline void PrefetchTagged(const void* tagged, uintptr_t tag_mask = 1) {
+  if (tagged == nullptr) return;
+  PrefetchRead(reinterpret_cast<const void*>(
+      reinterpret_cast<uintptr_t>(tagged) & ~tag_mask));
+}
+
+}  // namespace optiql
+
+#endif  // OPTIQL_COMMON_PREFETCH_H_

@@ -14,6 +14,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -46,6 +47,14 @@ struct IndexWorkload {
   // the steady-state regime for delete-time merge experiments — without
   // merges the node count grows without bound under such a mix.
   bool fixed_population = false;
+
+  // Batch mode: > 1 groups ops into batches of this size and issues them
+  // through the batched surface (IndexLookupBatch & friends) — one epoch
+  // guard and, where the index supports it, one interleaved descent group
+  // per batch. Each completed key counts as one op. Batched updates go
+  // through IndexUpsertBatch (the batched surface has no failing update);
+  // removes have no batched form and loop singles.
+  int batch = 1;
 
   int threads = 4;
   int duration_ms = 200;
@@ -85,12 +94,115 @@ void PreloadIndex(Tree& tree, const IndexWorkload& workload) {
   }
 }
 
+// Batch-mode worker loop: draws `batch` keys per iteration, rolls the op
+// arm once per batch, and issues one batched call. Shares the mix/key
+// semantics of the single-op loop (fresh-range inserts, wrap-around
+// removes, fixed-population churn).
+template <IndexLike Tree>
+RunResult RunIndexBenchBatched(Tree& tree, const IndexWorkload& workload) {
+  RunOptions options;
+  options.threads = workload.threads;
+  options.duration_ms = workload.duration_ms;
+  options.latency_sampling = workload.latency_sampling;
+  const size_t batch = static_cast<size_t>(workload.batch);
+
+  std::atomic<uint64_t> next_fresh{workload.records};
+  const UniformDistribution uniform(workload.records);
+  const SelfSimilarDistribution selfsim(workload.records,
+                                        workload.skew > 0 ? workload.skew
+                                                          : 0.2);
+
+  return RunFixedDuration(options, [&](int tid,
+                                       const std::atomic<bool>& stop,
+                                       WorkerStats& stats) {
+    Xoshiro256 rng(0xABCDULL * 31 + static_cast<uint64_t>(tid));
+    std::vector<uint64_t> keys(batch);
+    std::vector<uint64_t> values(batch);
+    const std::unique_ptr<bool[]> found(new bool[batch]);
+    const bool sample_latency = workload.latency_sampling > 0;
+    uint64_t until_sample = workload.latency_sampling;
+    while (!stop.load(std::memory_order_acquire)) {
+      const uint64_t op = rng.NextBounded(100);
+      const bool fresh_insert =
+          op >= static_cast<uint64_t>(workload.lookup_pct +
+                                      workload.update_pct) &&
+          op < static_cast<uint64_t>(workload.lookup_pct +
+                                     workload.update_pct +
+                                     workload.insert_pct) &&
+          !workload.fixed_population;
+      for (size_t i = 0; i < batch; ++i) {
+        if (fresh_insert) {
+          keys[i] = MakeKey(next_fresh.fetch_add(1, std::memory_order_relaxed),
+                            workload.key_space);
+        } else {
+          const uint64_t index =
+              workload.distribution == IndexWorkload::Distribution::kUniform
+                  ? uniform.Next(rng)
+                  : selfsim.Next(rng);
+          keys[i] = MakeKey(index, workload.key_space);
+        }
+      }
+
+      std::chrono::steady_clock::time_point start;
+      bool timed = false;
+      if (sample_latency && --until_sample == 0) {
+        until_sample = workload.latency_sampling;
+        start = std::chrono::steady_clock::now();
+        timed = true;
+      }
+
+      if (op < static_cast<uint64_t>(workload.lookup_pct)) {
+        IndexLookupBatch(tree, keys.data(), batch, values.data(),
+                         found.get());
+      } else if (op < static_cast<uint64_t>(workload.lookup_pct +
+                                            workload.update_pct)) {
+        for (size_t i = 0; i < batch; ++i) values[i] = rng.Next() | 1;
+        IndexUpsertBatch(tree, keys.data(), values.data(), batch);
+      } else if (op < static_cast<uint64_t>(workload.lookup_pct +
+                                            workload.update_pct +
+                                            workload.insert_pct)) {
+        for (size_t i = 0; i < batch; ++i) values[i] = keys[i] + 1;
+        IndexInsertBatch(tree, keys.data(), values.data(), batch,
+                         found.get());
+      } else {
+        // Removes stay single-op (no batched form); fixed-population mode
+        // targets the drawn keys, the default mode wraps into the fresh
+        // range like the single-op loop.
+        for (size_t i = 0; i < batch; ++i) {
+          uint64_t target_key = keys[i];
+          if (!workload.fixed_population) {
+            const uint64_t target =
+                workload.records +
+                rng.NextBounded(std::max<uint64_t>(
+                    1, next_fresh.load(std::memory_order_relaxed) -
+                           workload.records));
+            target_key = MakeKey(target, workload.key_space);
+          }
+          IndexRemove(tree, target_key);
+        }
+      }
+
+      if (timed) {
+        const auto elapsed = std::chrono::steady_clock::now() - start;
+        stats.latency.Record(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                .count()));
+      }
+      stats.ops += batch;
+    }
+  });
+}
+
 // Runs the configured mix against a preloaded index.
 template <IndexLike Tree>
 RunResult RunIndexBench(Tree& tree, const IndexWorkload& workload) {
   OPTIQL_CHECK(workload.lookup_pct + workload.update_pct +
                    workload.insert_pct + workload.remove_pct ==
                100);
+  OPTIQL_CHECK(workload.batch >= 1);
+  if (workload.batch > 1) {
+    return RunIndexBenchBatched(tree, workload);
+  }
   RunOptions options;
   options.threads = workload.threads;
   options.duration_ms = workload.duration_ms;

@@ -149,6 +149,38 @@ class ArtTree {
     return Remove({reinterpret_cast<const char*>(&be), 8});
   }
 
+  // Interleave bounds for LookupBatchInt: the lane ring lives on the
+  // stack, and past ~32 in-flight descents the prefetches start evicting
+  // each other instead of overlapping.
+  static constexpr size_t kMaxBatchLanes = 32;
+  static constexpr size_t kDefaultBatchLanes = 8;
+
+  // Batched integer-key lookup: runs up to `interleave` descents at once
+  // as a ring of small state machines (AMAC / group-prefetch style) so
+  // their cache-miss chains overlap. One EpochGuard covers the batch.
+  // `found[i]` is written for every i; `values[i]` only where `found[i]`
+  // is true. Returns the number of hits; results are identical to calling
+  // LookupInt per key in batch order.
+  size_t LookupBatchInt(const uint64_t* keys, size_t n, uint64_t* values,
+                        bool* found,
+                        size_t interleave = kDefaultBatchLanes) const {
+    if (n == 0) return 0;
+    EpochGuard guard;
+    size_t lane_count = interleave < n ? interleave : n;
+    if (lane_count > kMaxBatchLanes) lane_count = kMaxBatchLanes;
+    if (lane_count <= 1) {
+      // Amortized-guard loop of singles (the benchmark baseline, and the
+      // right call when lane bookkeeping would cost more than it hides).
+      size_t hits = 0;
+      for (size_t i = 0; i < n; ++i) {
+        found[i] = LookupInt(keys[i], values[i]);
+        if (found[i]) ++hits;
+      }
+      return hits;
+    }
+    return LookupBatchInterleaved(keys, n, values, found, lane_count);
+  }
+
   size_t Size() const { return size_.load(std::memory_order_acquire); }
 
   // Number of contention expansions performed (diagnostics / ablation).
@@ -279,6 +311,150 @@ class ArtTree {
       v = nv;
       ++level;  // The routing byte.
     }
+  }
+
+  // --- Interleaved (AMAC-style) batched lookup ---
+  //
+  // Each in-flight lookup is a small state machine (a "lane"): it either
+  // matches the prefix, finds and PREFETCHES the next child slot under a
+  // validated snapshot, or it ENTERS the child it prefetched on its
+  // previous turn (leaf: verify + read; inner: version-lock + re-validate
+  // the parent) — LookupAttempt's protocol, split at the prefetch point.
+  // The round-robin scheduler advances every other lane between a lane's
+  // prefetch and its use, overlapping the per-level cache misses. A
+  // validation failure restarts only the failing lane from the root.
+
+  struct BatchLane {
+    const Node* node = nullptr;  // Position (validated snapshot).
+    void* child = nullptr;       // Prefetched slot, not yet entered.
+    uint64_t v = 0;              // Version snapshot of `node`.
+    uint64_t be = 0;             // Big-endian key image (the key view).
+    size_t op = 0;               // Index into the caller's batch.
+    size_t level = 0;            // Key bytes consumed.
+    bool entering = false;       // Next step: enter `child`.
+    bool active = false;
+  };
+
+  // (Re)points a lane at the root with a fresh snapshot. The root node is
+  // never replaced (always a Node256), so no identity re-check is needed.
+  // Named into the read-lock helper family on purpose: the open snapshot
+  // it returns with is validated by the lane's next scheduler step.
+  void ReadLockRootLane(BatchLane& lane) const {
+    while (true) {
+      uint64_t v;
+      if (ReadLockNode(root_, &v) != ReadResult::kOk) continue;
+      lane.node = root_;
+      lane.v = v;
+      lane.level = 0;
+      lane.entering = false;
+      return;
+    }
+  }
+
+  size_t LookupBatchInterleaved(const uint64_t* keys, size_t n,
+                                uint64_t* values, bool* found,
+                                size_t lane_count) const {
+    BatchLane lanes[kMaxBatchLanes];
+    size_t next_op = 0;
+    size_t active = 0;
+    size_t hits = 0;
+
+    // Finish the lane's current op and feed it the next one (re-encoding
+    // the key big-endian), or park it when the batch is drained.
+    auto complete = [&](BatchLane& lane, bool hit, uint64_t value) {
+      found[lane.op] = hit;
+      if (hit) {
+        values[lane.op] = value;
+        ++hits;
+      }
+      if (next_op < n) {
+        lane.op = next_op++;
+        lane.be = ToBigEndian(keys[lane.op]);
+        ReadLockRootLane(lane);
+      } else {
+        lane.active = false;
+        --active;
+      }
+    };
+
+    for (size_t i = 0; i < lane_count; ++i) {
+      lanes[i].op = next_op++;
+      lanes[i].be = ToBigEndian(keys[lanes[i].op]);
+      lanes[i].active = true;
+      ReadLockRootLane(lanes[i]);
+      ++active;
+    }
+
+    size_t l = 0;
+    while (active > 0) {
+      BatchLane& lane = lanes[l];
+      l = (l + 1 == lane_count) ? 0 : l + 1;
+      if (!lane.active) continue;
+      const std::string_view key(reinterpret_cast<const char*>(&lane.be),
+                                 8);
+
+      if (lane.entering) {
+        if (Nodes::IsLeaf(lane.child)) {
+          // Lazily expanded leaf: verify the full key and read the value,
+          // then re-validate the node the pointer came from (the epoch
+          // guard keeps the record alive even if it raced away).
+          const LeafRecord* leaf = Nodes::AsLeaf(lane.child);
+          const bool match = Nodes::LeafMatches(leaf, key);
+          const uint64_t value = leaf->value.load(std::memory_order_relaxed);
+          if (!ValidateNode(lane.node, lane.v)) {
+            ReadLockRootLane(lane);
+            continue;
+          }
+          complete(lane, match, value);
+          continue;
+        }
+        // Inner child: snapshot its version, then re-validate the parent
+        // so the two reads are mutually consistent.
+        const Node* next = Nodes::AsNode(lane.child);
+        uint64_t nv;
+        const bool next_locked = ReadLockNode(next, &nv) == ReadResult::kOk;
+        if (!next_locked || !ValidateNode(lane.node, lane.v)) {
+          ReadLockRootLane(lane);
+          continue;
+        }
+        lane.node = next;
+        lane.v = nv;
+        ++lane.level;  // The routing byte.
+        lane.entering = false;
+        continue;
+      }
+
+      const Node* node = lane.node;
+      const uint32_t matched = Nodes::MatchPrefix(node, key, lane.level);
+      const uint8_t prefix_len = node->prefix_len;
+      if (!ValidateNode(node, lane.v)) {
+        ReadLockRootLane(lane);
+        continue;
+      }
+      if (matched < prefix_len || lane.level + prefix_len >= key.size()) {
+        complete(lane, false, 0);  // Prefix mismatch / key exhausted.
+        continue;
+      }
+      lane.level += prefix_len;
+      void* child =
+          Nodes::FindChild(node, static_cast<uint8_t>(key[lane.level]));
+      // Issue the prefetch now; the (possibly torn, possibly tagged) slot
+      // is only chased after the validation below succeeds — and only
+      // after every other lane has taken a turn, which is the latency the
+      // prefetch hides.
+      Nodes::PrefetchChild(child);
+      if (!ValidateNode(node, lane.v)) {
+        ReadLockRootLane(lane);
+        continue;
+      }
+      if (child == nullptr) {
+        complete(lane, false, 0);
+        continue;
+      }
+      lane.child = child;
+      lane.entering = true;
+    }
+    return hits;
   }
 
   bool InsertAttempt(std::string_view key, uint64_t value, bool* ok) {

@@ -17,6 +17,7 @@
 
 #include "common/check.h"
 #include "common/platform.h"
+#include "common/prefetch.h"
 #include "common/simd.h"
 #include "sync/epoch.h"
 
@@ -79,15 +80,19 @@ struct ArtNodes {
 
   // --- Tagged pointers ---
 
+  // Bit 0 of a child slot marks a (key, value) leaf record.
+  static constexpr uintptr_t kLeafTagMask = 1;
+
   static bool IsLeaf(void* ptr) {
-    return (reinterpret_cast<uintptr_t>(ptr) & 1) != 0;
+    return (reinterpret_cast<uintptr_t>(ptr) & kLeafTagMask) != 0;
   }
   static LeafRecord* AsLeaf(void* ptr) {
     return reinterpret_cast<LeafRecord*>(reinterpret_cast<uintptr_t>(ptr) &
-                                         ~uintptr_t{1});
+                                         ~kLeafTagMask);
   }
   static void* TagLeaf(LeafRecord* leaf) {
-    return reinterpret_cast<void*>(reinterpret_cast<uintptr_t>(leaf) | 1);
+    return reinterpret_cast<void*>(reinterpret_cast<uintptr_t>(leaf) |
+                                   kLeafTagMask);
   }
   static Node* AsNode(void* ptr) { return static_cast<Node*>(ptr); }
 
@@ -202,9 +207,7 @@ struct ArtNodes {
   // this before validating the parent so the child's cache miss overlaps
   // the validation.
   static void PrefetchChild(const void* tagged_child) {
-    if (tagged_child == nullptr) return;
-    PrefetchRead(reinterpret_cast<const void*>(
-        reinterpret_cast<uintptr_t>(tagged_child) & ~uintptr_t{1}));
+    PrefetchTagged(tagged_child, kLeafTagMask);
   }
 
   static bool IsNodeFull(const Node* node) {

@@ -49,6 +49,7 @@
 #include "common/annotations.h"
 #include "common/check.h"
 #include "common/platform.h"
+#include "common/prefetch.h"
 #include "common/simd.h"
 #include "core/optiql.h"
 #include "locks/mcs_rw_lock.h"
@@ -171,6 +172,43 @@ class BTree {
     } else {
       return LookupOptimistic(key, out);
     }
+  }
+
+  // Interleave bounds for LookupBatch: the lane ring lives on the stack,
+  // and past ~32 in-flight descents the prefetches start evicting each
+  // other instead of overlapping.
+  static constexpr size_t kMaxBatchLanes = 32;
+  static constexpr size_t kDefaultBatchLanes = 8;
+
+  // Batched point lookup: runs up to `interleave` descents at once as a
+  // ring of small state machines (AMAC / group-prefetch style), so the
+  // per-level cache-miss chains of the in-flight lookups overlap instead
+  // of serializing. One EpochGuard covers the whole batch. `found[i]` is
+  // written for every i; `values[i]` only where `found[i]` is true.
+  // Returns the number of hits. Results are identical to calling Lookup
+  // per key in batch order. Not available for the pessimistic coupling
+  // protocol (its lock-handover descent cannot be suspended mid-node), so
+  // coupling trees fall back to the generic loop in index_ops.h.
+  size_t LookupBatch(const Key* keys, size_t n, Value* values, bool* found,
+                     size_t interleave = kDefaultBatchLanes) const
+    requires(kProtocol != BTreeProtocol::kCoupling)
+  {
+    if (n == 0) return 0;
+    EpochGuard guard;
+    size_t lane_count = interleave < n ? interleave : n;
+    if (lane_count > kMaxBatchLanes) lane_count = kMaxBatchLanes;
+    if (lane_count <= 1) {
+      // Amortized-guard loop of singles — the baseline the interleaved
+      // path is benchmarked against, and the right choice for tiny
+      // batches where lane bookkeeping costs more than it hides.
+      size_t hits = 0;
+      for (size_t i = 0; i < n; ++i) {
+        found[i] = LookupOptimistic(keys[i], values[i]);
+        if (found[i]) ++hits;
+      }
+      return hits;
+    }
+    return LookupInterleaved(keys, n, values, found, lane_count);
   }
 
   // Ascending range scan starting at `start` (inclusive); copies up to
@@ -447,14 +485,16 @@ class BTree {
   static_assert(sizeof(Inner) <= kAlignedNodeBudget + kCachelineSize,
                 "inner layout exceeds the node-size budget");
 
+  // Whole-node line count for the shared prefetch helpers: a batch lane
+  // about to search a leaf warms every line (values included), not just
+  // the header.
+  static constexpr size_t kLeafLines = PrefetchLinesFor(sizeof(Leaf));
+
   // Warm the lines a descent touches next: line 0 (header + lock + the
   // leading keys) and, for multi-line nodes, the next line of keys. Safe
   // on unvalidated child pointers — prefetch never faults.
   static void PrefetchNodeHeader(const NodeBase* node) {
-    PrefetchRead(node);
-    if constexpr (kNodeBytes > kCachelineSize) {
-      PrefetchRead(reinterpret_cast<const char*>(node) + kCachelineSize);
-    }
+    PrefetchLines<(kNodeBytes > kCachelineSize) ? 2 : 1>(node);
   }
 
   // Underflow thresholds for delete-time rebalancing (quarter-full, the
@@ -617,6 +657,141 @@ class BTree {
       if (found) out = value;
       return found;
     }
+  }
+
+  // --- Interleaved (AMAC-style) batched descent ---
+  //
+  // Each in-flight lookup is a small state machine (a "lane"). A lane is
+  // always in one of two states: it either computes and PREFETCHES the
+  // next child under a validated parent snapshot, or it ENTERS a child it
+  // prefetched on its previous turn by version-locking it and
+  // re-validating the parent — exactly the LookupOptimistic protocol,
+  // split at the prefetch point. The scheduler visits the lanes
+  // round-robin, so between issuing a lane's prefetch and touching that
+  // memory it advances every other lane; that turns one serial cache-miss
+  // chain per descent into `lane_count` overlapping ones. A validation
+  // failure restarts only the failing lane from the root — the rest of
+  // the group never stalls.
+
+  struct BatchLane {
+    const NodeBase* node = nullptr;   // Position (validated snapshot).
+    const NodeBase* child = nullptr;  // Prefetched, not yet entered.
+    uint64_t v = 0;                   // Version snapshot of `node`.
+    size_t op = 0;                    // Index into the caller's batch.
+    bool entering = false;            // Next step: enter `child`.
+    bool active = false;
+  };
+
+  // (Re)points a lane at the root with a fresh version snapshot. Named
+  // into the read-lock helper family on purpose: the open snapshot it
+  // returns with is validated by the lane's next scheduler step.
+  void ReadLockRootLane(BatchLane& lane) const {
+    while (true) {
+      const NodeBase* node = root_.load(std::memory_order_acquire);
+      uint64_t v;
+      if (!ReadLockNode(node, v)) continue;
+      // The root may have been replaced (split / collapse) between the
+      // pointer load and the snapshot; re-check identity like
+      // LookupOptimistic does.
+      if (node != root_.load(std::memory_order_acquire)) continue;
+      lane.node = node;
+      lane.v = v;
+      lane.entering = false;
+      return;
+    }
+  }
+
+  size_t LookupInterleaved(const Key* keys, size_t n, Value* values,
+                           bool* found, size_t lane_count) const {
+    RestartCounter restarts(read_restarts_);
+    restarts.Tick();  // The whole batch is one attempt...
+    BatchLane lanes[kMaxBatchLanes];
+    size_t next_op = 0;
+    size_t active = 0;
+    for (size_t i = 0; i < lane_count; ++i) {
+      lanes[i].op = next_op++;
+      lanes[i].active = true;
+      ReadLockRootLane(lanes[i]);
+      ++active;
+    }
+
+    size_t hits = 0;
+    size_t l = 0;
+    while (active > 0) {
+      BatchLane& lane = lanes[l];
+      l = (l + 1 == lane_count) ? 0 : l + 1;
+      if (!lane.active) continue;
+
+      if (lane.entering) {
+        // Enter the child prefetched on this lane's previous turn:
+        // snapshot its version, then re-validate the parent so the two
+        // reads are mutually consistent.
+        uint64_t cv;
+        const bool child_locked = ReadLockNode(lane.child, cv);
+        if (!child_locked || !Validate(AsInner(lane.node)->lock, lane.v)) {
+          restarts.Tick();  // ...and each lane restart adds one.
+          ReadLockRootLane(lane);
+          continue;
+        }
+        lane.node = lane.child;
+        lane.v = cv;
+        lane.entering = false;
+        continue;
+      }
+
+      if (!IsLeaf(lane.node)) {
+        const Inner* inner = AsInner(lane.node);
+        const uint16_t cnt = LoadCount(inner, kInnerMax);
+        const NodeBase* child =
+            inner->children[inner->ChildIndex(keys[lane.op], cnt)];
+        // Issue the prefetch now; the (possibly torn) pointer is only
+        // dereferenced after the validation below succeeds — and only
+        // after every other lane has taken a turn, which is the latency
+        // the prefetch hides. A level-1 inner's children are leaves:
+        // warm the whole leaf so the key/value search hits cache.
+        if (inner->level == 1) {
+          PrefetchLines<kLeafLines>(child);
+        } else {
+          PrefetchNodeHeader(child);
+        }
+        if (!Validate(inner->lock, lane.v)) {
+          restarts.Tick();
+          ReadLockRootLane(lane);
+          continue;
+        }
+        lane.child = child;
+        lane.entering = true;
+        continue;
+      }
+
+      const Leaf* leaf = AsLeaf(lane.node);
+      const uint16_t cnt = LoadCount(leaf, kLeafMax);
+      const uint16_t pos = leaf->LowerBound(keys[lane.op], cnt);
+      bool hit = false;
+      Value value{};
+      if (pos < cnt && leaf->keys[pos] == keys[lane.op]) {
+        hit = true;
+        value = leaf->values[pos];
+      }
+      if (!Validate(leaf->lock, lane.v)) {
+        restarts.Tick();
+        ReadLockRootLane(lane);
+        continue;
+      }
+      found[lane.op] = hit;
+      if (hit) {
+        values[lane.op] = value;
+        ++hits;
+      }
+      if (next_op < n) {
+        lane.op = next_op++;
+        ReadLockRootLane(lane);
+      } else {
+        lane.active = false;
+        --active;
+      }
+    }
+    return hits;
   }
 
   size_t ScanOptimistic(const Key& start, size_t limit,

@@ -21,10 +21,12 @@
 #define OPTIQL_INDEX_INDEX_OPS_H_
 
 #include <concepts>
+#include <cstddef>
 #include <cstdint>
 #include <utility>
 #include <vector>
 
+#include "sync/epoch.h"
 #include "sync/txn_ops.h"
 
 namespace optiql {
@@ -203,6 +205,105 @@ template <IndexLike Index>
 void IndexCheckInvariants(const Index& index) {
   if constexpr (HasCheckInvariantsOp<Index>) {
     index.CheckInvariants();
+  }
+}
+
+// --- Batched operations ------------------------------------------------------
+//
+// Span-of-ops in, span-of-results out. The contract, for every dispatch arm:
+//
+//   * results are identical to executing the ops one at a time, in batch
+//     order — duplicates inside one batch behave like sequential execution;
+//   * `found[i]` / `ok[i]` is written for every i; `values[i]` is written
+//     only where `found[i]` is true;
+//   * the whole batch runs under one amortized EpochGuard (Enter/Exit is
+//     re-entrant, so indexes that open their own per-op guard nest freely).
+//
+// Indexes with a native batch entry point (interleaved multi-descent in the
+// B+-tree and ART, group-prefetched probes in the hash table, per-shard
+// dispatch in ShardedStore) are detected below; everything else — including
+// the pessimistic coupling variants — gets the guard + loop fallback, so all
+// index types keep working.
+
+// Native batched point lookup (integer keys directly).
+template <class Index>
+concept HasLookupBatchOp =
+    requires(const Index c, const uint64_t* k, size_t n, uint64_t* v,
+             bool* f) {
+      { c.LookupBatch(k, n, v, f) } -> std::same_as<size_t>;
+    };
+
+// ART-style Int suffix for the batched lookup over a byte-string core.
+template <class Index>
+concept HasLookupBatchIntOp =
+    requires(const Index c, const uint64_t* k, size_t n, uint64_t* v,
+             bool* f) {
+      { c.LookupBatchInt(k, n, v, f) } -> std::same_as<size_t>;
+    };
+
+// Native batched insert: ok[i] = "key i was absent and is now present".
+template <class Index>
+concept HasInsertBatchOp =
+    requires(Index t, const uint64_t* k, const uint64_t* v, size_t n,
+             bool* ok) {
+      { t.InsertBatch(k, v, n, ok) } -> std::same_as<size_t>;
+    };
+
+// Native batched insert-or-update.
+template <class Index>
+concept HasUpsertBatchOp =
+    requires(Index t, const uint64_t* k, const uint64_t* v, size_t n) {
+      t.UpsertBatch(k, v, n);
+    };
+
+// Batched point lookup; returns the number of hits.
+template <IndexLike Index>
+size_t IndexLookupBatch(const Index& index, const uint64_t* keys, size_t n,
+                        uint64_t* values, bool* found) {
+  if constexpr (HasLookupBatchIntOp<Index>) {
+    return index.LookupBatchInt(keys, n, values, found);
+  } else if constexpr (HasLookupBatchOp<Index>) {
+    return index.LookupBatch(keys, n, values, found);
+  } else {
+    EpochGuard guard;
+    size_t hits = 0;
+    for (size_t i = 0; i < n; ++i) {
+      found[i] = IndexLookup(index, keys[i], values[i]);
+      if (found[i]) ++hits;
+    }
+    return hits;
+  }
+}
+
+// Batched insert; returns the number of keys actually inserted.
+template <IndexLike Index>
+size_t IndexInsertBatch(Index& index, const uint64_t* keys,
+                        const uint64_t* values, size_t n, bool* ok) {
+  if constexpr (HasInsertBatchOp<Index>) {
+    return index.InsertBatch(keys, values, n, ok);
+  } else {
+    EpochGuard guard;
+    size_t applied = 0;
+    for (size_t i = 0; i < n; ++i) {
+      ok[i] = IndexInsert(index, keys[i], values[i]);
+      if (ok[i]) ++applied;
+    }
+    return applied;
+  }
+}
+
+// Batched insert-or-update; duplicates in one batch resolve to the last
+// occurrence's value, exactly as sequential upserts would.
+template <IndexLike Index>
+void IndexUpsertBatch(Index& index, const uint64_t* keys,
+                      const uint64_t* values, size_t n) {
+  if constexpr (HasUpsertBatchOp<Index>) {
+    index.UpsertBatch(keys, values, n);
+  } else {
+    EpochGuard guard;
+    for (size_t i = 0; i < n; ++i) {
+      IndexUpsert(index, keys[i], values[i]);
+    }
   }
 }
 

@@ -120,6 +120,100 @@ class ShardedStore : public internal::ShardTxnTypes<Index>,
     IndexUpsert(ShardFor(key), key, value);
   }
 
+  // --- Batched ops: partition, dispatch per shard, reassemble ---
+  //
+  // Each batch is partitioned by the router (caller-order-stable, so
+  // duplicate keys resolve exactly as sequential execution would — they
+  // always land on the same shard, in program order), then each shard gets
+  // ONE dispatch: a single amortized EpochGuard for the whole batch plus
+  // the shard's own interleaved group (IndexLookupBatch falls back to a
+  // guarded loop for shards without a native batch path). Results are
+  // scattered back to caller positions.
+
+  size_t LookupBatch(const uint64_t* keys, size_t n, uint64_t* values,
+                     bool* found) const {
+    if (n == 0) return 0;
+    EpochGuard guard;
+    if (shards_.size() == 1) {
+      return IndexLookupBatch(*shards_[0], keys, n, values, found);
+    }
+    const BatchPlan plan(*this, keys, n);
+    std::vector<uint64_t> shard_keys(n);
+    std::vector<uint64_t> shard_values(n);
+    const std::unique_ptr<bool[]> shard_found(new bool[n]);
+    size_t hits = 0;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      const uint32_t begin = plan.offsets[s];
+      const size_t m = plan.offsets[s + 1] - begin;
+      if (m == 0) continue;
+      for (size_t i = 0; i < m; ++i) {
+        shard_keys[i] = keys[plan.order[begin + i]];
+      }
+      hits += IndexLookupBatch(*shards_[s], shard_keys.data(), m,
+                               shard_values.data(), shard_found.get());
+      for (size_t i = 0; i < m; ++i) {
+        const uint32_t at = plan.order[begin + i];
+        found[at] = shard_found[i];
+        if (shard_found[i]) values[at] = shard_values[i];
+      }
+    }
+    return hits;
+  }
+
+  size_t InsertBatch(const uint64_t* keys, const uint64_t* values, size_t n,
+                     bool* ok) {
+    if (n == 0) return 0;
+    EpochGuard guard;
+    if (shards_.size() == 1) {
+      return IndexInsertBatch(*shards_[0], keys, values, n, ok);
+    }
+    const BatchPlan plan(*this, keys, n);
+    std::vector<uint64_t> shard_keys(n);
+    std::vector<uint64_t> shard_values(n);
+    const std::unique_ptr<bool[]> shard_ok(new bool[n]);
+    size_t applied = 0;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      const uint32_t begin = plan.offsets[s];
+      const size_t m = plan.offsets[s + 1] - begin;
+      if (m == 0) continue;
+      for (size_t i = 0; i < m; ++i) {
+        const uint32_t at = plan.order[begin + i];
+        shard_keys[i] = keys[at];
+        shard_values[i] = values[at];
+      }
+      applied += IndexInsertBatch(*shards_[s], shard_keys.data(),
+                                  shard_values.data(), m, shard_ok.get());
+      for (size_t i = 0; i < m; ++i) {
+        ok[plan.order[begin + i]] = shard_ok[i];
+      }
+    }
+    return applied;
+  }
+
+  void UpsertBatch(const uint64_t* keys, const uint64_t* values, size_t n) {
+    if (n == 0) return;
+    EpochGuard guard;
+    if (shards_.size() == 1) {
+      IndexUpsertBatch(*shards_[0], keys, values, n);
+      return;
+    }
+    const BatchPlan plan(*this, keys, n);
+    std::vector<uint64_t> shard_keys(n);
+    std::vector<uint64_t> shard_values(n);
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      const uint32_t begin = plan.offsets[s];
+      const size_t m = plan.offsets[s + 1] - begin;
+      if (m == 0) continue;
+      for (size_t i = 0; i < m; ++i) {
+        const uint32_t at = plan.order[begin + i];
+        shard_keys[i] = keys[at];
+        shard_values[i] = values[at];
+      }
+      IndexUpsertBatch(*shards_[s], shard_keys.data(), shard_values.data(),
+                       m);
+    }
+  }
+
   // --- Range scan: scatter-gather with a k-way merge ---
 
   size_t Scan(uint64_t start, size_t limit,
@@ -286,6 +380,29 @@ class ShardedStore : public internal::ShardTxnTypes<Index>,
   }
 
  private:
+  // Caller-order-stable partition of a batch by shard: position indexes
+  // grouped by shard (shard s owns order[offsets[s] .. offsets[s+1])),
+  // each group preserving program order — a stable counting sort.
+  struct BatchPlan {
+    std::vector<uint32_t> order;
+    std::vector<uint32_t> offsets;
+
+    BatchPlan(const ShardedStore& store, const uint64_t* keys, size_t n)
+        : order(n), offsets(store.ShardCount() + 1, 0) {
+      for (size_t i = 0; i < n; ++i) {
+        ++offsets[store.ShardIndexOf(keys[i]) + 1];
+      }
+      for (size_t s = 1; s < offsets.size(); ++s) {
+        offsets[s] += offsets[s - 1];
+      }
+      std::vector<uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+      for (size_t i = 0; i < n; ++i) {
+        order[cursor[store.ShardIndexOf(keys[i])]++] =
+            static_cast<uint32_t>(i);
+      }
+    }
+  };
+
   Index& ShardFor(uint64_t key) { return *shards_[ShardIndexOf(key)]; }
   const Index& ShardFor(uint64_t key) const {
     return *shards_[ShardIndexOf(key)];
