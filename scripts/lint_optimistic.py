@@ -48,6 +48,16 @@ them:
                         being validated *before* their values feed a
                         write; a write issued mid-section is a dirty
                         write under an unvalidated snapshot.
+  R7 blocking-acquire-in-read-section
+                        No blocking/pessimistic acquire (AcquireEx /
+                        AcquireExDeferred / AcquireShPessimistic) while an
+                        optimistic read section is open. Queueing behind a
+                        writer that is about to bump the very version the
+                        open snapshot validates against guarantees a
+                        restart at best; with a lock order it is a
+                        deadlock seed (the model checker's ABBA demo is
+                        exactly this shape). Validate or abandon the
+                        snapshot first, then block.
 
 The TxnOps contract names (StableVersion / ValidateVersion) are matched
 in any spelling — bare, `Ops::`-qualified, or `TxnOps<Lock>::`-qualified
@@ -80,7 +90,8 @@ import re
 import sys
 
 RULES = ("validate-on-exit", "no-store-in-read-section", "raw-delete",
-         "epoch-guard", "version-dataflow", "occ-write-before-validate")
+         "epoch-guard", "version-dataflow", "occ-write-before-validate",
+         "blocking-acquire-in-read-section")
 
 # Lock-implementation layer: the protocol primitives themselves. Their
 # bodies *are* the open/validate operations, so the usage rules do not
@@ -121,6 +132,12 @@ OCC_CLOSER_RE = re.compile(r"\bValidateVersion\s*\(")
 # is the txn write-guard's publish; `.store(` is a raw atomic publish.
 # Loads are fine — OCC reads under the snapshot by design.
 OCC_WRITE_RE = re.compile(r"(?:\.|->)\s*(?:Install\w*|store)\s*\(")
+
+# R7: a blocking/pessimistic acquire, member-call form only (qualified
+# spellings like `LeafOps::LockEx(...)` are the coupling facade, covered
+# by TSA). Longer names first so `AcquireExDeferred` is not half-matched.
+BLOCKING_ACQUIRE_RE = re.compile(
+    r"(?:\.|->)(?:AcquireExDeferred|AcquireShPessimistic|AcquireEx)\s*\(")
 
 # R2: a store through a pointer dereference. Excludes `==`, `<=` etc. via
 # the lookahead; member stores on locals (`result.found = ...`) use `.`
@@ -368,7 +385,8 @@ def iter_statements(body):
 
 
 def check_function_rules(path, func, allow, findings):
-    """R1 + R2 + R6 over one function body (binary open/closed sections).
+    """R1 + R2 + R6 + R7 over one function body (binary open/closed
+    sections).
 
     R6 only applies to sections opened by `StableVersion` (the OCC leg of
     the TxnOps contract); coupling-opened sections (ReadLockOrRestart /
@@ -408,6 +426,18 @@ def check_function_rules(path, func, allow, findings):
                         "store through a pointer inside the optimistic "
                         "read section opened at line %d (writes require "
                         "an upgrade or exclusive lock)" % open_line))
+            m = BLOCKING_ACQUIRE_RE.search(stmt)
+            if m:
+                acq_line = func.body_line_of(off + m.start())
+                if not allow.suppressed(acq_line,
+                                        "blocking-acquire-in-read-section"):
+                    findings.append(Finding(
+                        path, acq_line, "blocking-acquire-in-read-section",
+                        "blocking acquire inside the optimistic read "
+                        "section opened at line %d: queueing under an "
+                        "unvalidated snapshot is a restart hazard and a "
+                        "deadlock seed — validate or abandon the snapshot "
+                        "first (TryUpgrade for the same lock)" % open_line))
             if occ_section:
                 m = OCC_WRITE_RE.search(stmt)
                 if m:

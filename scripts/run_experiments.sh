@@ -37,13 +37,62 @@ if [ ! -d "$build_dir/bench" ]; then
   exit 1
 fi
 
+# One row per benchmark: "binary[ args...]". Rows with --json also
+# regenerate that bench's BENCH_<name>.json next to the text output, so a
+# single run of this script refreshes every table, figure, and JSON record
+# the repo quotes. Keep this list in sync with bench/CMakeLists.txt; any
+# built binary missing from it is run flagless with a warning below.
+benches=(
+  "fig01_motivation"
+  "fig06_lock_throughput"
+  "fig07_mixed_ratios"
+  "fig08_cs_length"
+  "fig09_index_skewed"
+  "fig10_index_uniform"
+  "fig11_node_size_aor"
+  "fig12_tail_latency"
+  "fig13_art_sparse"
+  "tab01_reader_success"
+  "abl_fairness"
+  "abl_restarts --json"
+  "micro_search_kernel --json"
+  "micro_gbench"
+  "ext_insert_delete"
+  "ext_hash_table"
+  "ext_opticlh"
+  "ext_ycsb"
+  "ext_sharded --json"
+  "ext_adaptive --json"
+  "ext_txn --json"
+  "ext_batch --json"
+)
+
 {
   echo "# optiql experiment run: mode=$mode $(date -u +%Y-%m-%dT%H:%M:%SZ)"
   echo "# host: $(uname -srm), $(nproc) hardware threads"
+  listed=" "
+  for row in "${benches[@]}"; do
+    read -r name args <<< "$row"
+    listed="$listed$name "
+    bin="$build_dir/bench/$name"
+    if [ ! -x "$bin" ]; then
+      echo "WARNING: $bin not built, skipping" >&2
+      continue
+    fi
+    echo
+    echo "===== RUN: $name ${args:-} ====="
+    # shellcheck disable=SC2086
+    "$bin" ${args:-}
+  done
+  # Safety net: benches added to CMake but not to the table above still
+  # run (flagless), and the warning flags the missing row.
   for bench in "$build_dir"/bench/*; do
     [ -x "$bench" ] && [ -f "$bench" ] || continue
+    name="$(basename "$bench")"
+    case "$listed" in *" $name "*) continue ;; esac
+    echo "WARNING: $name has no row in scripts/run_experiments.sh" >&2
     echo
-    echo "===== RUN: $(basename "$bench") ====="
+    echo "===== RUN: $name ====="
     "$bench"
   done
 } | tee "$out"

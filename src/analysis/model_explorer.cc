@@ -1,0 +1,355 @@
+#include "analysis/model_explorer.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace optiql::model {
+
+namespace {
+
+const char* KindName(OpKind k) {
+  switch (k) {
+    case OpKind::kLoad:
+      return "load ";
+    case OpKind::kStore:
+      return "store";
+    case OpKind::kRmw:
+      return "rmw  ";
+    case OpKind::kSpin:
+      return "spin ";
+  }
+  return "?";
+}
+
+int LowestBit(uint32_t mask) {
+  OPTIQL_CHECK(mask != 0);
+  return __builtin_ctz(mask);
+}
+
+// One DFS choice point. Node i chooses the thread that executes step i;
+// its backtrack set accumulates the alternatives DPOR proves necessary,
+// while its sleep set (Godefroid) holds threads whose move from this state
+// was already explored in an equivalent order — picking one would only
+// re-derive a known trace, so candidates exclude it.
+struct Node {
+  uint32_t enabled = 0;
+  uint32_t done = 0;
+  uint32_t backtrack = 0;
+  uint32_t sleep = 0;
+  int chosen = -1;
+  int preempts = 0;  // preemptions consumed up to and including this choice
+};
+
+class Dfs {
+ public:
+  Dfs(Scenario& scenario, const ExploreOptions& opt)
+      : opt_(opt), rt_(scenario) {
+    if (opt_.budget_ms > 0) {
+      deadline_ = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(opt_.budget_ms);
+    }
+  }
+
+  ExploreResult Run() {
+    bool truncated = false;
+    while (true) {
+      if (opt_.max_executions > 0 &&
+          res_.executions >= static_cast<uint64_t>(opt_.max_executions)) {
+        truncated = true;
+        break;
+      }
+      if (opt_.budget_ms > 0 && std::chrono::steady_clock::now() >= deadline_) {
+        res_.hit_budget = true;
+        truncated = true;
+        break;
+      }
+      RunOne();
+      rt_.CheckWorkerFailures();
+      if (res_.found_violation) return res_;
+      if (!PickNextBranch()) break;  // space exhausted
+    }
+    res_.complete = !truncated && !res_.hit_bound_skip && !res_.hit_budget;
+    return res_;
+  }
+
+  ExploreResult RunReplay(const std::vector<int>& schedule) {
+    forced_ = &schedule;
+    replay_mode_ = true;  // single execution: sleep-set pruning is off
+    RunOne();
+    rt_.CheckWorkerFailures();
+    res_.complete = false;  // a single schedule proves nothing by itself
+    return res_;
+  }
+
+ private:
+  // Runs one complete execution: replays the prefix already fixed in
+  // stack_, then extends with the default policy (keep running the
+  // previous thread), creating nodes and updating backtrack sets.
+  void RunOne() {
+    rt_.Begin();
+    trace_.clear();
+    ++res_.executions;
+    const size_t prefix = stack_.size();
+    size_t i = 0;
+    while (true) {
+      const uint32_t enabled = rt_.EnabledMask();
+      const int prev = i > 0 ? stack_[i - 1].chosen : -1;
+      if (i < stack_.size()) {
+        // Fixed prefix: the world must look exactly as it did before.
+        Node& n = stack_[i];
+        OPTIQL_CHECK(n.enabled == enabled);
+        n.preempts = PreemptsThrough(i, n.chosen);
+      } else {
+        if (enabled == 0) {
+          if (rt_.UnfinishedMask() != 0) {
+            Violation(
+                "deadlock: every unfinished thread is blocked waiting for a "
+                "write that can never happen");
+            return;
+          }
+          break;  // all threads finished
+        }
+        const uint32_t sleep = replay_mode_ ? 0 : InheritedSleep(i);
+        if ((enabled & ~sleep) == 0) {
+          // Sleep-set blocked: every enabled move was already explored in
+          // an equivalent order from an ancestor state. Extending further
+          // can only re-derive known traces — abandon the execution.
+          rt_.AbortExecution();
+          return;
+        }
+        int choice = ForcedChoice(i, enabled);
+        if (choice < 0) {
+          const uint32_t pick = enabled & ~sleep;
+          choice =
+              (prev >= 0 && ((pick >> prev) & 1)) ? prev : LowestBit(pick);
+        }
+        Node n;
+        n.enabled = enabled;
+        n.sleep = sleep;
+        n.chosen = choice;
+        n.backtrack = 1u << choice;
+        n.preempts = PreemptsThrough(i, choice, enabled);
+        stack_.push_back(n);
+      }
+      Node& n = stack_[i];
+      rt_.Step(n.chosen);
+      ++res_.steps;
+      trace_.push_back({n.chosen, rt_.LastExec(n.chosen)});
+      if (i >= prefix && forced_ == nullptr) UpdateBacktrack(i);
+      if (static_cast<int>(stack_.size()) > res_.max_depth) {
+        res_.max_depth = static_cast<int>(stack_.size());
+      }
+      if (rt_.HasViolation()) {
+        Violation(rt_.ViolationMessage());
+        return;
+      }
+      if (static_cast<int64_t>(trace_.size()) > opt_.max_steps) {
+        Violation("step limit exceeded: livelock (or raise --max-steps)");
+        return;
+      }
+      ++i;
+    }
+    rt_.RunFinale();
+    if (rt_.HasViolation()) {
+      res_.found_violation = true;
+      res_.message = rt_.ViolationMessage();
+      CaptureSchedule();
+    }
+  }
+
+  // Preemption count after choosing `choice` at step i: switching away
+  // from a previous thread that could have kept running costs one.
+  int PreemptsThrough(size_t i, int choice) const {
+    const int base = i > 0 ? stack_[i - 1].preempts : 0;
+    if (i == 0) return 0;
+    const int prev = stack_[i - 1].chosen;
+    const bool preempt =
+        choice != prev && ((stack_[i].enabled >> prev) & 1) != 0;
+    // stack_[i] exists only on the replay path; on the extend path the
+    // caller passes the freshly computed enabled mask via the Node it is
+    // about to push — handled by the overload below.
+    return base + (preempt ? 1 : 0);
+  }
+  int PreemptsThrough(size_t i, int choice, uint32_t enabled) const {
+    const int base = i > 0 ? stack_[i - 1].preempts : 0;
+    if (i == 0) return 0;
+    const int prev = stack_[i - 1].chosen;
+    const bool preempt = choice != prev && ((enabled >> prev) & 1) != 0;
+    return base + (preempt ? 1 : 0);
+  }
+
+  // Sleep set a fresh node at depth i inherits: the parent's sleepers,
+  // minus any whose pending operation depends on the step the parent just
+  // executed (those are "woken" — running them now could reach states the
+  // earlier exploration order did not). A sleeping thread's pending op is
+  // unchanged since the parent state because only Step(tid) advances tid.
+  uint32_t InheritedSleep(size_t i) const {
+    if (i == 0) return 0;
+    uint32_t ps = stack_[i - 1].sleep;
+    if (ps == 0) return 0;
+    const Event& pe = trace_[i - 1].second;
+    uint32_t out = 0;
+    while (ps != 0) {
+      const int t = LowestBit(ps);
+      ps &= ps - 1;
+      const Event* q = rt_.PendingOp(t);
+      if (q == nullptr) continue;  // finished: drop from sleep
+      const bool q_writes =
+          q->kind == OpKind::kStore || q->kind == OpKind::kRmw;
+      const bool dependent =
+          q->obj != nullptr && q->obj == pe.obj && (q_writes || pe.mutated);
+      if (!dependent) out |= 1u << t;
+    }
+    return out;
+  }
+
+  int ForcedChoice(size_t i, uint32_t enabled) {
+    if (forced_ == nullptr || i >= forced_->size()) return -1;
+    const int tid = (*forced_)[i];
+    if (tid < 0 || tid >= rt_.num_threads() || ((enabled >> tid) & 1) == 0) {
+      // The schedule no longer fits this binary (the bug it witnessed is
+      // gone, or code changed): stop forcing, finish with the default
+      // policy so the corpus entry still checks "no violation here".
+      forced_ = nullptr;
+      return -1;
+    }
+    return tid;
+  }
+
+  // Dynamic partial-order reduction, conservative variant: the new step s
+  // races with the most recent dependent step j of another thread; the
+  // schedule where s's thread runs before j must also be explored. If s's
+  // thread was not enabled at j we cannot name the single alternative, so
+  // every thread enabled at j is added (persistent-set fallback).
+  void UpdateBacktrack(size_t i) {
+    const int stid = trace_[i].first;
+    const Event& s = trace_[i].second;
+    if (s.obj == nullptr) return;
+    for (size_t j = i; j-- > 0;) {
+      const Event& e = trace_[j].second;
+      if (e.obj != s.obj) continue;
+      if (!e.mutated && !s.mutated) continue;  // read/read: independent
+      if (trace_[j].first == stid) break;      // ordered by program order
+      Node& nj = stack_[j];
+      if (((nj.enabled >> stid) & 1) != 0) {
+        nj.backtrack |= 1u << stid;
+      } else {
+        nj.backtrack |= nj.enabled;
+      }
+      break;
+    }
+  }
+
+  // Chooses the next unexplored branch, truncating stack_ to it. Returns
+  // false when the whole space is exhausted.
+  bool PickNextBranch() {
+    while (!stack_.empty()) {
+      const size_t i = stack_.size() - 1;
+      Node& n = stack_[i];
+      n.done |= 1u << n.chosen;
+      n.sleep |= 1u << n.chosen;  // subtree fully explored from here
+      uint32_t cand = n.backtrack & ~n.done & ~n.sleep;
+      while (cand != 0) {
+        const int c = LowestBit(cand);
+        cand &= cand - 1;
+        if (opt_.preemption_bound >= 0 &&
+            PreemptsThrough(i, c, n.enabled) > opt_.preemption_bound) {
+          n.done |= 1u << c;  // skipped, not explored
+          res_.hit_bound_skip = true;
+          continue;
+        }
+        n.chosen = c;
+        return true;
+      }
+      stack_.pop_back();
+    }
+    return false;
+  }
+
+  void Violation(const std::string& message) {
+    res_.found_violation = true;
+    res_.message = message;
+    CaptureSchedule();
+    rt_.AbortExecution();
+  }
+
+  void CaptureSchedule() {
+    res_.schedule.clear();
+    for (const auto& [tid, ev] : trace_) res_.schedule.push_back(tid);
+    if (!opt_.collect_trace) return;
+    std::string out;
+    char line[256];
+    for (size_t k = 0; k < trace_.size(); ++k) {
+      const auto& [tid, ev] = trace_[k];
+      std::snprintf(line, sizeof(line),
+                    "#%03zu t%d %s %-24s arg=%016llx old=%016llx%s\n", k, tid,
+                    KindName(ev.kind), rt_.ObjectLabel(ev.obj).c_str(),
+                    static_cast<unsigned long long>(ev.arg),
+                    static_cast<unsigned long long>(ev.result),
+                    ev.mutated ? " *" : "");
+      out += line;
+    }
+    res_.trace = std::move(out);
+  }
+
+  const ExploreOptions opt_;
+  Runtime rt_;
+  std::vector<Node> stack_;
+  std::vector<std::pair<int, Event>> trace_;
+  const std::vector<int>* forced_ = nullptr;
+  bool replay_mode_ = false;
+  ExploreResult res_;
+  std::chrono::steady_clock::time_point deadline_{};
+};
+
+}  // namespace
+
+ExploreResult Explore(Scenario& scenario, const ExploreOptions& options) {
+  Dfs dfs(scenario, options);
+  return dfs.Run();
+}
+
+ExploreResult Replay(Scenario& scenario, const std::vector<int>& schedule) {
+  ExploreOptions opt;
+  opt.collect_trace = true;
+  Dfs dfs(scenario, opt);
+  return dfs.RunReplay(schedule);
+}
+
+ExploreResult FindMinimal(Scenario& scenario, const ExploreOptions& options) {
+  for (int bound = 0; bound <= 4; ++bound) {
+    ExploreOptions bounded = options;
+    bounded.preemption_bound = bound;
+    ExploreResult r = Explore(scenario, bounded);
+    if (r.found_violation) return r;
+  }
+  return Explore(scenario, options);
+}
+
+std::string FormatSchedule(const std::vector<int>& schedule) {
+  std::string out;
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    if (i != 0) out += '.';
+    out += std::to_string(schedule[i]);
+  }
+  return out;
+}
+
+std::vector<int> ParseSchedule(const std::string& text) {
+  std::vector<int> out;
+  int value = -1;
+  for (char c : text) {
+    if (c >= '0' && c <= '9') {
+      value = (value < 0 ? 0 : value * 10) + (c - '0');
+    } else {
+      if (value >= 0) out.push_back(value);
+      value = -1;
+    }
+  }
+  if (value >= 0) out.push_back(value);
+  return out;
+}
+
+}  // namespace optiql::model

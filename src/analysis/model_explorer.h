@@ -1,0 +1,79 @@
+// DFS interleaving explorer over a model Runtime (DESIGN.md §13).
+//
+// Explore() enumerates schedules of a Scenario depth-first with dynamic
+// partial-order reduction: at every choice point the default is to keep
+// running the previous thread (run-to-completion), and alternative choices
+// are added only where a later step proves dependent (same object, at
+// least one mutation) on an earlier one. The reduction is conservative —
+// when the conflicting thread was not enabled at the earlier point, every
+// thread enabled there is added — so it explores a superset of a
+// persistent-set reduction and misses no safety violation reachable under
+// sequential consistency.
+//
+// An optional preemption bound caps the number of involuntary context
+// switches per schedule (CHESS-style): with bound k, only schedules with
+// <= k preemptions run, which keeps the larger lock x thread configs
+// inside a CI budget and yields small counterexamples. A bound-limited or
+// budget-limited run reports complete=false.
+#ifndef OPTIQL_ANALYSIS_MODEL_EXPLORER_H_
+#define OPTIQL_ANALYSIS_MODEL_EXPLORER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/model_runtime.h"
+
+namespace optiql::model {
+
+struct ExploreOptions {
+  // < 0: unbounded (full DPOR). Otherwise max preemptions per schedule.
+  int preemption_bound = -1;
+  // Wall-clock budget; 0 = unlimited. Exploration stops at an execution
+  // boundary once exceeded and reports complete=false.
+  int64_t budget_ms = 0;
+  // Hard cap on executions (0 = unlimited).
+  int64_t max_executions = 0;
+  // Per-execution step limit: a livelock backstop, reported as a violation.
+  int64_t max_steps = 20000;
+  // Keep the per-step op trace of a violating execution (costs memory on
+  // every execution; always on for Replay).
+  bool collect_trace = true;
+};
+
+struct ExploreResult {
+  bool found_violation = false;
+  std::string message;
+  std::vector<int> schedule;  // thread-id sequence reaching the violation
+  std::string trace;          // interleaved op trace of that schedule
+  uint64_t executions = 0;
+  uint64_t steps = 0;
+  int max_depth = 0;
+  // True iff the space was exhausted with no bound/budget truncation:
+  // a clean pass is a proof for this scenario under SC.
+  bool complete = false;
+  bool hit_bound_skip = false;
+  bool hit_budget = false;
+};
+
+// Exhaustively explores `scenario` under `options`.
+ExploreResult Explore(Scenario& scenario, const ExploreOptions& options = {});
+
+// Deterministically re-runs one schedule (e.g. a checked-in counterexample
+// or a string from a failure report) and reports what it finds. The
+// schedule may be a prefix; remaining steps run with the default policy.
+ExploreResult Replay(Scenario& scenario, const std::vector<int>& schedule);
+
+// Finds a minimal counterexample: re-explores with preemption bound
+// 0, 1, 2, ... and returns the first violation found (fewest involuntary
+// switches — the CHESS small-scope argument). Falls back to the unbounded
+// result if bounded passes stay clean.
+ExploreResult FindMinimal(Scenario& scenario, const ExploreOptions& options = {});
+
+// "0.1.1.0" <-> {0,1,1,0}
+std::string FormatSchedule(const std::vector<int>& schedule);
+std::vector<int> ParseSchedule(const std::string& text);
+
+}  // namespace optiql::model
+
+#endif  // OPTIQL_ANALYSIS_MODEL_EXPLORER_H_

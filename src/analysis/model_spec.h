@@ -1,0 +1,125 @@
+// Cross-thread specification probes for model-check scenarios (DESIGN.md
+// §13). Each probe is a tiny piece of "protected data" built from
+// ModelAtomic cells, so its accesses are themselves scheduling points: a
+// protocol bug manifests as an interleaving in which a probe's invariant
+// fires, and the explorer hands back the schedule that reached it.
+//
+// The probes deliberately check the same property two ways where possible
+// (an eager in-section invariant plus an end-state count), because the two
+// catch different shapes of the same bug: the invariant pinpoints the
+// overlap step, the final count catches overlaps whose windows never quite
+// collide with a probe operation.
+#ifndef OPTIQL_ANALYSIS_MODEL_SPEC_H_
+#define OPTIQL_ANALYSIS_MODEL_SPEC_H_
+
+#if !defined(OPTIQL_MODEL) || !OPTIQL_MODEL
+#error "model_spec.h is only meaningful in -DOPTIQL_MODEL=ON builds"
+#endif
+
+#include <cstdint>
+
+#include "common/check.h"
+#include "common/model_atomic.h"
+
+namespace optiql::model {
+
+// Mutual-exclusion probe for exclusive critical sections. Critical() is a
+// read-modify-write performed the racy way (separate load and store): if
+// two threads ever overlap in the section, either the occupancy invariant
+// fires immediately or an update is lost and CheckFinal sees it.
+class CsProbe {
+ public:
+  void Critical() {
+    const uint64_t occupants = in_cs_.fetch_add(1, std::memory_order_acq_rel);
+    OPTIQL_INVARIANT(occupants == 0,
+                     "mutual exclusion violated: a second thread entered an "
+                     "exclusive critical section");
+    const uint64_t v = value_.load(std::memory_order_relaxed);
+    value_.store(v + 1, std::memory_order_relaxed);
+    in_cs_.fetch_sub(1, std::memory_order_acq_rel);
+    {
+      QuietScope quiet;  // controller-side expectation, not shared protocol
+      ++expected_;
+    }
+  }
+
+  // Controller-side (Finale): every Critical() call must have taken effect.
+  void CheckFinal() const {
+    QuietScope quiet;
+    OPTIQL_INVARIANT(in_cs_.load(std::memory_order_relaxed) == 0,
+                     "a thread finished while still inside the critical "
+                     "section");
+    OPTIQL_INVARIANT(value_.load(std::memory_order_relaxed) == expected_,
+                     "lost update: overlapping critical sections dropped an "
+                     "increment");
+  }
+
+ private:
+  ModelAtomic<uint64_t> in_cs_{0};
+  ModelAtomic<uint64_t> value_{0};
+  uint64_t expected_ = 0;  // bumped quietly; single source of truth at end
+};
+
+// Reader/writer overlap probe for shared/exclusive locks. Writers must be
+// alone; readers may share with readers only.
+class RwProbe {
+ public:
+  void ReaderEnter() {
+    readers_.fetch_add(1, std::memory_order_acq_rel);
+    OPTIQL_INVARIANT(writers_.load(std::memory_order_relaxed) == 0,
+                     "reader entered while a writer holds the lock");
+  }
+  void ReaderExit() { readers_.fetch_sub(1, std::memory_order_acq_rel); }
+
+  void WriterEnter() {
+    const uint64_t other = writers_.fetch_add(1, std::memory_order_acq_rel);
+    OPTIQL_INVARIANT(other == 0,
+                     "two writers hold the lock simultaneously");
+    OPTIQL_INVARIANT(readers_.load(std::memory_order_relaxed) == 0,
+                     "writer entered while readers are still active "
+                     "(upgrade admitted a non-sole holder?)");
+  }
+  void WriterExit() { writers_.fetch_sub(1, std::memory_order_acq_rel); }
+
+  void CheckFinal() const {
+    QuietScope quiet;
+    OPTIQL_INVARIANT(readers_.load(std::memory_order_relaxed) == 0 &&
+                         writers_.load(std::memory_order_relaxed) == 0,
+                     "reader/writer occupancy not conserved at end of "
+                     "execution");
+  }
+
+ private:
+  ModelAtomic<uint64_t> readers_{0};
+  ModelAtomic<uint64_t> writers_{0};
+};
+
+// Torn-read probe for optimistic (validate-after) readers: the seqlock
+// contract. A writer publishes the same value into both cells while
+// holding the lock; a reader that passed validation must have seen a
+// consistent pair. Readers call Check(a, b) only after ReleaseSh returned
+// true.
+class SeqProbe {
+ public:
+  void Publish(uint64_t x) {
+    data1_.store(x, std::memory_order_relaxed);
+    data2_.store(x, std::memory_order_relaxed);
+  }
+
+  uint64_t ReadFirst() const { return data1_.load(std::memory_order_relaxed); }
+  uint64_t ReadSecond() const { return data2_.load(std::memory_order_relaxed); }
+
+  static void Check(uint64_t a, uint64_t b) {
+    OPTIQL_INVARIANT(a == b,
+                     "torn optimistic read passed validation: the version "
+                     "protocol failed to invalidate an overlapped reader");
+  }
+
+ private:
+  ModelAtomic<uint64_t> data1_{0};
+  ModelAtomic<uint64_t> data2_{0};
+};
+
+}  // namespace optiql::model
+
+#endif  // OPTIQL_ANALYSIS_MODEL_SPEC_H_

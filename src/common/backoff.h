@@ -19,13 +19,19 @@ class ExponentialBackoff {
 
   // Spins for a random duration in [0, limit), then doubles the limit.
   void Pause() {
+#if defined(OPTIQL_MODEL) && OPTIQL_MODEL
+    // Model build: backoff duration is irrelevant (the scheduler, not
+    // time, decides who runs next) and the thread-local RNG would make
+    // replay nondeterministic. One scheduler yield per pause.
+    model::SpinYield();
+#else
     thread_local Xoshiro256 rng(0xb0ffDEADBEEFULL ^
                                 reinterpret_cast<uintptr_t>(&rng));
-    const uint32_t spins = static_cast<uint32_t>(rng.NextBounded(limit_));
-    for (uint32_t i = 0; i < spins; ++i) CpuPause();
+    SpinCycles(static_cast<uint32_t>(rng.NextBounded(limit_)));
     // Donate the time slice occasionally so an oversubscribed machine makes
     // progress even when the holder is descheduled.
     if (limit_ == kMaxSpins) CpuYield();
+#endif
     limit_ = limit_ < kMaxSpins ? limit_ * 2 : kMaxSpins;
   }
 

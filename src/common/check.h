@@ -27,7 +27,22 @@
 //
 // The message prefix is stable ("OPTIQL_INVARIANT") so death tests can
 // match on it.
-#if defined(OPTIQL_CHECK_INVARIANTS) && OPTIQL_CHECK_INVARIANTS
+//
+// Under the model checker (-DOPTIQL_MODEL=ON) the same predicates become
+// part of the explored spec: the condition is evaluated inside a
+// QuietScope (its atomic probes are instrumentation, not protocol steps,
+// so they must not create scheduling points), and a violation is routed to
+// the explorer — which prints the schedule that reached it — instead of
+// aborting the process.
+#if defined(OPTIQL_MODEL) && OPTIQL_MODEL
+#define OPTIQL_INVARIANT(cond, msg)                                     \
+  do {                                                                  \
+    ::optiql::model::QuietScope optiql_invariant_quiet;                 \
+    if (OPTIQL_UNLIKELY(!(cond))) {                                     \
+      ::optiql::model::InvariantFailed(__FILE__, __LINE__, #cond, msg); \
+    }                                                                   \
+  } while (0)
+#elif defined(OPTIQL_CHECK_INVARIANTS) && OPTIQL_CHECK_INVARIANTS
 #define OPTIQL_INVARIANT(cond, msg)                                        \
   do {                                                                     \
     if (OPTIQL_UNLIKELY(!(cond))) {                                        \

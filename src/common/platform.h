@@ -14,6 +14,8 @@
 #include <sched.h>
 #endif
 
+#include "common/model_atomic.h"
+
 namespace optiql {
 
 // Cache line size assumed throughout; queue nodes and per-thread stats are
@@ -64,21 +66,37 @@ inline void CpuYield() {
 #endif
 }
 
+// Issues `n` PAUSE hints back to back. The one busy-spin primitive shared
+// by SpinWait and ExponentialBackoff, so the model checker has a single
+// place where real cycles would burn (and replaces with a scheduler yield).
+inline void SpinCycles(uint32_t n) {
+  for (uint32_t i = 0; i < n; ++i) CpuPause();
+}
+
 // Spin-then-yield policy: issue cheap PAUSE hints for a bounded number of
 // iterations, then start donating the time slice. Every spin loop in the
 // library funnels through one of these objects so the oversubscription
-// behaviour is uniform and testable.
+// behaviour is uniform and testable — and so the model scheduler can
+// intercept every wait point through one seam.
 class SpinWait {
  public:
   static constexpr uint32_t kSpinsBeforeYield = 128;
 
   // Called once per failed spin-loop iteration.
   void Spin() {
-    if (++count_ < kSpinsBeforeYield) {
+    ++count_;
+#if defined(OPTIQL_MODEL) && OPTIQL_MODEL
+    // Model build: block on the scheduler until the object this thread
+    // last loaded is written. Burning PAUSE cycles would livelock the
+    // cooperative exploration — no other thread runs until we yield.
+    model::SpinYield();
+#else
+    if (count_ < kSpinsBeforeYield) {
       CpuPause();
     } else {
       CpuYield();
     }
+#endif
   }
 
   void Reset() { count_ = 0; }

@@ -25,6 +25,7 @@
 #include <cstdint>
 
 #include "common/check.h"
+#include "common/model_atomic.h"
 #include "common/platform.h"
 #include "qnode/qnode_pool.h"
 
@@ -52,7 +53,7 @@ class OptiCLH {
   }
 
   bool ReleaseSh(uint64_t v) const {
-    std::atomic_thread_fence(std::memory_order_acquire);
+    ModelThreadFence(std::memory_order_acquire);
     return word_.load(std::memory_order_relaxed) == v;
   }
 
@@ -163,7 +164,7 @@ class OptiCLH {
 
   static uint64_t NextVersion(uint64_t v) { return (v + 1) & kVersionMask; }
 
-  std::atomic<uint64_t> word_{0};
+  ModelAtomic<uint64_t> word_{0};
 };
 
 static_assert(sizeof(OptiCLH) == 8, "OptiCLH must be one 8-byte word");

@@ -40,6 +40,7 @@
 #include <cstdint>
 
 #include "common/check.h"
+#include "common/model_atomic.h"
 #include "common/platform.h"
 #include "qnode/qnode_pool.h"
 #include "sync/lock_telemetry.h"
@@ -84,7 +85,7 @@ class BasicOptiQL {
     // Seqlock validation: order the caller's data reads before the
     // validating load, then require the *entire word* (status + requester
     // ID + version) to be unchanged.
-    std::atomic_thread_fence(std::memory_order_acquire);
+    ModelThreadFence(std::memory_order_acquire);
     if (word_.load(std::memory_order_relaxed) != v) {
       LockTelemetry::Count(LockTelemetry::kOptimisticRestart);
       return false;
@@ -197,7 +198,16 @@ class BasicOptiQL {
       wait.Spin();
     }
     // Grant the successor by handing it its version (Figure 4f).
-    next->version.store(NextVersion(my_version), std::memory_order_release);
+    uint64_t granted = NextVersion(my_version);
+#if defined(OPTIQL_MODEL) && OPTIQL_MODEL
+    // Seeded bug (model builds only): forget that NextVersion must carry
+    // the obsolete marker across the handover. The checker's obsolete-
+    // survival spec must catch this with a minimized schedule.
+    if (model::bugs().optiql_drop_obsolete_on_handover) {
+      granted &= ~kObsoleteBit;
+    }
+#endif
+    next->version.store(granted, std::memory_order_release);
   }
 
   // Releases exclusive mode without bumping the version, republishing the
@@ -311,7 +321,7 @@ class BasicOptiQL {
     return (v + 1) & kVersionMask;
   }
 
-  std::atomic<uint64_t> word_{0};
+  ModelAtomic<uint64_t> word_{0};
 };
 
 using OptiQL = BasicOptiQL<true>;

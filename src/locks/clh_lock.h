@@ -18,6 +18,7 @@
 
 #include "common/annotations.h"
 #include "common/check.h"
+#include "common/model_atomic.h"
 #include "common/platform.h"
 #include "qnode/qnode_pool.h"
 
@@ -76,7 +77,7 @@ class OPTIQL_CAPABILITY("mutex") ClhLock {
   static constexpr uint64_t kLockedFlag = QNode::kInvalidVersion;
   static constexpr uint64_t kUnlockedFlag = 0;
 
-  std::atomic<QNode*> tail_{nullptr};
+  ModelAtomic<QNode*> tail_{nullptr};
 };
 
 static_assert(sizeof(ClhLock) == 8, "CLH lock must be one 8-byte word");

@@ -23,6 +23,7 @@
 
 #include "common/backoff.h"
 #include "common/check.h"
+#include "common/model_atomic.h"
 #include "common/platform.h"
 #include "locks/mcs_lock.h"
 #include "qnode/qnode_pool.h"
@@ -57,7 +58,7 @@ class HybridLock {
   }
 
   bool ReleaseSh(uint64_t v) const {
-    std::atomic_thread_fence(std::memory_order_acquire);
+    ModelThreadFence(std::memory_order_acquire);
     const uint64_t now = word_.load(std::memory_order_relaxed);
     // Shared-count churn is invisible to optimistic readers: pessimistic
     // readers do not modify the protected data.
@@ -190,7 +191,7 @@ class HybridLock {
   uint64_t LoadWord() const { return word_.load(std::memory_order_acquire); }
 
  private:
-  std::atomic<uint64_t> word_{0};
+  ModelAtomic<uint64_t> word_{0};
 };
 
 static_assert(sizeof(HybridLock) == 8, "Hybrid lock must be 8 bytes");
@@ -465,14 +466,33 @@ class AdaptiveHybridLock {
   // touch the score word, so the optimistic read fast path stays read-only
   // in the common case.
   void MaybeCredit() {
+#if defined(OPTIQL_MODEL) && OPTIQL_MODEL
+    // The thread_local tick persists across model executions, making the
+    // credit sample depend on exploration history. Credit every time: the
+    // sampling is a throughput optimization, not protocol.
+    Credit();
+#else
     thread_local uint32_t tick = 0;
     if ((++tick & kCreditSampleMask) != 0) return;
     Credit();
+#endif
   }
 
+ public:
+#if defined(OPTIQL_MODEL) && OPTIQL_MODEL
+  // Model-only: preset the advisory mode/score so scenarios can start in
+  // kQueued directly. Organic promotion needs ~a dozen collisions — far
+  // deeper than an exhaustive 2–3-thread program can reach.
+  void ModelSetState(Mode mode, uint32_t score) {
+    state_.store(Pack(static_cast<uint32_t>(mode), score),
+                 std::memory_order_relaxed);
+  }
+#endif
+
+ private:
   HybridLock core_;                  // The word: single source of exclusion.
   McsLock gate_;                     // FIFO writer gate (kQueued mode only).
-  std::atomic<uint32_t> state_{0};   // [8..9] mode, [0..7] saturating score.
+  ModelAtomic<uint32_t> state_{0};   // [8..9] mode, [0..7] saturating score.
 };
 
 }  // namespace optiql

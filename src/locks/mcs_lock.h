@@ -14,6 +14,7 @@
 
 #include "common/annotations.h"
 #include "common/check.h"
+#include "common/model_atomic.h"
 #include "common/platform.h"
 #include "qnode/qnode_pool.h"
 
@@ -86,7 +87,7 @@ class OPTIQL_CAPABILITY("mutex") McsLock {
   static constexpr uint64_t kWaiting = QNode::kInvalidVersion;
   static constexpr uint64_t kGranted = 1;
 
-  std::atomic<QNode*> tail_{nullptr};
+  ModelAtomic<QNode*> tail_{nullptr};
 };
 
 static_assert(sizeof(McsLock) == 8, "MCS lock must be one 8-byte word");

@@ -27,6 +27,7 @@
 
 #include "common/annotations.h"
 #include "common/check.h"
+#include "common/model_atomic.h"
 #include "common/platform.h"
 #include "qnode/qnode_pool.h"
 
@@ -259,6 +260,16 @@ class OPTIQL_CAPABILITY("shared_mutex") McsRwLock {
     qnode->aux.store(kClassWriterBit, std::memory_order_relaxed);
     const uint32_t self = Pool().ToId(qnode);
     uint64_t expected = uint64_t{my_holds} << kReaderShift;
+#if defined(OPTIQL_MODEL) && OPTIQL_MODEL
+    // Seeded bug (model builds only): skip the sole-holder check and
+    // upgrade from whatever the current word is, keeping only our own
+    // holds' worth of count. Other active readers survive into the
+    // exclusive section — the checker's upgrade-atomicity spec must
+    // catch the resulting reader/writer overlap.
+    if (model::bugs().mcsrw_upgrade_ignores_readers) {
+      expected = word_.load(std::memory_order_relaxed);
+    }
+#endif
     if (word_.compare_exchange_strong(expected, uint64_t{self} << kTailShift,
                                       std::memory_order_acq_rel,
                                       std::memory_order_relaxed)) {
@@ -372,7 +383,7 @@ class OPTIQL_CAPABILITY("shared_mutex") McsRwLock {
     return next;
   }
 
-  std::atomic<uint64_t> word_{0};
+  ModelAtomic<uint64_t> word_{0};
 };
 
 static_assert(sizeof(McsRwLock) == 8, "MCS-RW lock must be one 8-byte word");

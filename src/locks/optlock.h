@@ -16,6 +16,7 @@
 #include "common/annotations.h"
 #include "common/backoff.h"
 #include "common/check.h"
+#include "common/model_atomic.h"
 #include "sync/lock_telemetry.h"
 
 namespace optiql {
@@ -52,7 +53,7 @@ class OPTIQL_CAPABILITY("mutex") BasicOptLock {
   // returned `v`. The acquire fence orders the caller's preceding data reads
   // before the validating load (seqlock validation idiom).
   bool ReleaseSh(uint64_t v) const {
-    std::atomic_thread_fence(std::memory_order_acquire);
+    ModelThreadFence(std::memory_order_acquire);
     if (word_.load(std::memory_order_relaxed) != v) {
       LockTelemetry::Count(LockTelemetry::kOptimisticRestart);
       return false;
@@ -152,7 +153,7 @@ class OPTIQL_CAPABILITY("mutex") BasicOptLock {
                                          std::memory_order_relaxed);
   }
 
-  std::atomic<uint64_t> word_{0};
+  ModelAtomic<uint64_t> word_{0};
 };
 
 using OptLock = BasicOptLock<NoBackoff>;

@@ -10,6 +10,7 @@
 
 #include "common/annotations.h"
 #include "common/check.h"
+#include "common/model_atomic.h"
 #include "common/platform.h"
 
 namespace optiql {
@@ -53,8 +54,8 @@ class OPTIQL_CAPABILITY("mutex") TicketLock {
   }
 
  private:
-  std::atomic<uint32_t> next_ticket_{0};
-  std::atomic<uint32_t> now_serving_{0};
+  ModelAtomic<uint32_t> next_ticket_{0};
+  ModelAtomic<uint32_t> now_serving_{0};
 };
 
 static_assert(sizeof(TicketLock) == 8, "Ticket lock must fit in 8 bytes");

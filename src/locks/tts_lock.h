@@ -10,6 +10,7 @@
 #include "common/annotations.h"
 #include "common/backoff.h"
 #include "common/check.h"
+#include "common/model_atomic.h"
 
 namespace optiql {
 
@@ -53,7 +54,7 @@ class OPTIQL_CAPABILITY("mutex") BasicTtsLock {
   static constexpr uint64_t kUnlocked = 0;
   static constexpr uint64_t kLocked = 1;
 
-  std::atomic<uint64_t> word_{kUnlocked};
+  ModelAtomic<uint64_t> word_{kUnlocked};
 };
 
 using TtsLock = BasicTtsLock<NoBackoff>;

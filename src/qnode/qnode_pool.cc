@@ -102,6 +102,9 @@ ThreadQNodeCache& LocalQNodeCache() {
 }  // namespace
 
 QNode* ThreadQNodeStack::Pop() {
+#if defined(OPTIQL_MODEL) && OPTIQL_MODEL
+  if (QNode* node = model::ScenarioPopQNode()) return node;
+#endif
   ThreadQNodeCache& cache = LocalQNodeCache();
   if (cache.stack_size > 0) {
     QNode* node = cache.stack[--cache.stack_size];
@@ -114,6 +117,9 @@ QNode* ThreadQNodeStack::Pop() {
 }
 
 void ThreadQNodeStack::Push(QNode* node) {
+#if defined(OPTIQL_MODEL) && OPTIQL_MODEL
+  if (model::ScenarioPushQNode(node)) return;
+#endif
   ThreadQNodeCache& cache = LocalQNodeCache();
   if (cache.stack_size < kMaxCached) {
     cache.stack[cache.stack_size++] = node;

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/model_atomic.h"
 #include "common/platform.h"
 
 namespace optiql {
@@ -32,9 +33,9 @@ namespace optiql {
 struct OPTIQL_CACHELINE_ALIGNED QNode {
   static constexpr uint64_t kInvalidVersion = ~0ULL;
 
-  std::atomic<QNode*> next{nullptr};
-  std::atomic<uint64_t> version{kInvalidVersion};
-  std::atomic<uint64_t> aux{0};
+  ModelAtomic<QNode*> next{nullptr};
+  ModelAtomic<uint64_t> version{kInvalidVersion};
+  ModelAtomic<uint64_t> aux{0};
 
   // Ownership state for the checked-invariant build: free in the pool,
   // owned by a thread but idle, or enqueued in some lock's queue. Declared
@@ -47,10 +48,16 @@ struct OPTIQL_CACHELINE_ALIGNED QNode {
   static constexpr uint8_t kDbgPooled = 0;
   static constexpr uint8_t kDbgIdle = 1;
   static constexpr uint8_t kDbgQueued = 2;
-  std::atomic<uint8_t> dbg_state{kDbgPooled};
+  ModelAtomic<uint8_t> dbg_state{kDbgPooled};
 
   void DbgTransition(uint8_t from, uint8_t to, const char* msg) {
 #if defined(OPTIQL_CHECK_INVARIANTS) && OPTIQL_CHECK_INVARIANTS
+    // Ownership bookkeeping, not protocol: under the model checker the
+    // exchange runs quietly (no scheduling point) so the checked build
+    // explores the same interleavings as the release build.
+#if defined(OPTIQL_MODEL) && OPTIQL_MODEL
+    model::QuietScope quiet;
+#endif
     const uint8_t prev = dbg_state.exchange(to, std::memory_order_acq_rel);
     OPTIQL_INVARIANT(prev == from, msg);
 #else
@@ -63,6 +70,11 @@ struct OPTIQL_CACHELINE_ALIGNED QNode {
   // Returns the node to its pristine state before (re)joining a queue.
   // Deliberately leaves dbg_state alone: ownership does not change here.
   void Reset() {
+#if defined(OPTIQL_MODEL) && OPTIQL_MODEL
+    // Reset only touches a node the caller owns exclusively (idle, never
+    // enqueued), so no other thread can observe these stores: quiet.
+    model::QuietScope quiet;
+#endif
     next.store(nullptr, std::memory_order_relaxed);
     version.store(kInvalidVersion, std::memory_order_relaxed);
     aux.store(0, std::memory_order_relaxed);

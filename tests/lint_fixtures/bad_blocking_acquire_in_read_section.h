@@ -1,0 +1,36 @@
+// Known-bad fixture: a blocking exclusive acquire issued while an
+// optimistic read section is still open. The writer this thread queues
+// behind will bump the very version the open snapshot validates against,
+// so the pattern restarts at best; with any lock order across two nodes
+// it is the ABBA deadlock the model checker's demo scenario exhibits.
+// EXPECT-FAIL: blocking-acquire-in-read-section
+#ifndef OPTIQL_TESTS_LINT_FIXTURES_BAD_BLOCKING_ACQUIRE_IN_READ_SECTION_H_
+#define OPTIQL_TESTS_LINT_FIXTURES_BAD_BLOCKING_ACQUIRE_IN_READ_SECTION_H_
+
+#include <cstdint>
+
+struct Node {
+  uint64_t value;
+  Node* sibling;
+  Lock lock;
+};
+
+// BUG: still holds the unvalidated snapshot of `node` while blocking on
+// the sibling's queue. Validate (or abandon) the snapshot first, then
+// lock; same-lock upgrades go through TryUpgrade instead.
+inline bool CopyToSibling(Node* node, QNode* qnode) {
+  uint64_t v;
+  if (!node->lock.AcquireSh(v)) return false;
+  const uint64_t snapshot = node->value;
+  node->sibling->lock.AcquireEx(qnode);
+  if (!node->lock.ReleaseSh(v)) {
+    node->sibling->lock.ReleaseEx(qnode);
+    return false;
+  }
+  Node* locked = node->sibling;
+  locked->value = snapshot;
+  node->sibling->lock.ReleaseEx(qnode);
+  return true;
+}
+
+#endif  // OPTIQL_TESTS_LINT_FIXTURES_BAD_BLOCKING_ACQUIRE_IN_READ_SECTION_H_

@@ -1,0 +1,62 @@
+// Known-good fixture for R7: the legal ways to combine an optimistic
+// read with a blocking acquire. The self-test requires zero findings.
+#ifndef OPTIQL_TESTS_LINT_FIXTURES_GOOD_BLOCKING_ACQUIRE_AFTER_VALIDATE_H_
+#define OPTIQL_TESTS_LINT_FIXTURES_GOOD_BLOCKING_ACQUIRE_AFTER_VALIDATE_H_
+
+#include <cstdint>
+
+struct Node {
+  uint64_t value;
+  Node* sibling;
+  Lock lock;
+};
+
+// Validate first, then block: once ReleaseSh confirmed the snapshot the
+// section is closed, and queueing on the sibling is plain lock usage.
+inline bool CopyToSiblingValidated(Node* node, QNode* qnode) {
+  uint64_t v;
+  if (!node->lock.AcquireSh(v)) return false;
+  const uint64_t snapshot = node->value;
+  if (!node->lock.ReleaseSh(v)) return false;
+  node->sibling->lock.AcquireEx(qnode);
+  Node* locked = node->sibling;
+  locked->value = snapshot;
+  node->sibling->lock.ReleaseEx(qnode);
+  return true;
+}
+
+// Same-lock upgrade: TryUpgrade consumes the snapshot without blocking —
+// the sanctioned alternative to AcquireEx under an open section.
+inline bool UpdateInPlace(Node* node, uint64_t value) {
+  uint64_t v;
+  if (!node->lock.AcquireSh(v)) return false;
+  if (!node->lock.TryUpgrade(v)) return false;
+  Node* locked = node;
+  locked->value = value;
+  node->lock.ReleaseEx();
+  return true;
+}
+
+// Escape hatch: the paper's direct-lock leaf update (Algorithm 4) blocks
+// on the leaf while the *parent* snapshot stays open, then validates the
+// parent after the queue wait — safe because a failed validation releases
+// and restarts rather than using the snapshot.
+inline bool DirectLeafLock(Node* parent, Node* leaf, uint64_t value,
+                           QNode* qnode) {
+  uint64_t pv;
+  if (!parent->lock.AcquireSh(pv)) return false;
+  // LINT-ALLOW(blocking-acquire-in-read-section): OptiQL direct leaf
+  // locking; the parent snapshot is validated right after the wait and a
+  // mismatch restarts without touching the leaf contents.
+  leaf->lock.AcquireEx(qnode);
+  if (!parent->lock.ReleaseSh(pv)) {
+    leaf->lock.ReleaseEx(qnode);
+    return false;
+  }
+  Node* locked = leaf;
+  locked->value = value;
+  leaf->lock.ReleaseEx(qnode);
+  return true;
+}
+
+#endif  // OPTIQL_TESTS_LINT_FIXTURES_GOOD_BLOCKING_ACQUIRE_AFTER_VALIDATE_H_

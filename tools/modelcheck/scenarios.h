@@ -1,0 +1,33 @@
+// Scenario registry for the model checker (DESIGN.md §13): small fixed
+// thread programs over the real lock headers, checked against the spec
+// probes in src/analysis/model_spec.h. Names are stable — they appear in
+// ctest output, EXPERIMENTS.md state-count tables, and checked-in replay
+// schedules (tools/modelcheck/replay_corpus.h).
+#ifndef OPTIQL_TOOLS_MODELCHECK_SCENARIOS_H_
+#define OPTIQL_TOOLS_MODELCHECK_SCENARIOS_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/model_runtime.h"
+
+namespace optiql::model {
+
+struct ScenarioInfo {
+  const char* name;
+  const char* description;
+  int threads;
+  // True only for *_demo entries that exist to prove the checker detects a
+  // violation; every other scenario must pass a full exhaustive run.
+  bool expect_violation;
+  std::function<std::unique_ptr<Scenario>()> make;
+};
+
+const std::vector<ScenarioInfo>& AllScenarios();
+const ScenarioInfo* FindScenario(const std::string& name);
+
+}  // namespace optiql::model
+
+#endif  // OPTIQL_TOOLS_MODELCHECK_SCENARIOS_H_
