@@ -1,0 +1,358 @@
+// Extension: elastic sharding (ISSUE 10). Two questions:
+//
+//   A. Online-split timeline — full-mix workers hammer a range-routed
+//      store while a controller thread runs a live Split through the
+//      epoch-published double-routing window. Per-10ms throughput slices
+//      plus per-phase latency histograms show whether the migration
+//      stalls the world. The acceptance bar lives here: throughput during
+//      the split must stay >= 50% of steady state, with no empty slice
+//      (no stop-the-world gap).
+//   B. Scan cost by router — the same scan workload against the
+//      hash-routed store (scatter-gather across every shard + k-way
+//      merge) and the range-routed store (only the spans the range
+//      intersects). The gap is the point of range routing.
+//
+// Emits BENCH_reshard.json with --json.
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "harness/bench_runner.h"
+#include "harness/table_printer.h"
+#include "index_bench_common.h"
+#include "store/sharded_store.h"
+
+namespace optiql {
+namespace {
+
+using HashStore = ShardedStore<BTreeOptiQl>;
+using RangeStore = ShardedStore<BTreeOptiQl, RangeShardRouter>;
+using Clock = std::chrono::steady_clock;
+
+constexpr size_t kShards = 8;
+constexpr uint64_t kSliceMs = 10;         // Timeline resolution.
+constexpr size_t kMaxSlices = 4096;       // 40s ceiling, plenty.
+constexpr uint64_t kLatBucketNs = 250;    // Histogram resolution.
+constexpr size_t kLatBuckets = 4096 + 1;  // Last bucket = overflow (>1ms).
+
+// Phases of the timeline run, indexed by the controller's atomic.
+enum Phase { kSteady = 0, kDuringSplit = 1, kAfterSplit = 2 };
+
+struct WorkerTimeline {
+  std::vector<uint64_t> slice_ops = std::vector<uint64_t>(kMaxSlices, 0);
+  // Per-phase latency histogram, kLatBucketNs-wide buckets.
+  std::array<std::vector<uint64_t>, 3> hist = {
+      std::vector<uint64_t>(kLatBuckets, 0),
+      std::vector<uint64_t>(kLatBuckets, 0),
+      std::vector<uint64_t>(kLatBuckets, 0)};
+};
+
+double PercentileUs(const std::vector<uint64_t>& hist, double pct) {
+  uint64_t total = 0;
+  for (uint64_t c : hist) total += c;
+  if (total == 0) return 0;
+  const uint64_t want = static_cast<uint64_t>(static_cast<double>(total) * pct);
+  uint64_t seen = 0;
+  for (size_t b = 0; b < hist.size(); ++b) {
+    seen += hist[b];
+    if (seen >= want) {
+      return static_cast<double>((b + 1) * kLatBucketNs) / 1000.0;
+    }
+  }
+  return static_cast<double>(hist.size() * kLatBucketNs) / 1000.0;
+}
+
+uint64_t HistOps(const std::vector<uint64_t>& hist) {
+  uint64_t total = 0;
+  for (uint64_t c : hist) total += c;
+  return total;
+}
+
+// Full-mix worker: 60% lookup, 20% upsert, 10% remove, 10% short scan.
+// Every op is timed; the latency lands in the histogram of whatever phase
+// the controller has published, and the op count lands in its time slice.
+void TimelineWorker(RangeStore& store, uint64_t space, uint64_t seed,
+                    const std::atomic<bool>& stop,
+                    const std::atomic<int>& phase, Clock::time_point start,
+                    WorkerTimeline& out) {
+  Xoshiro256 rng(seed);
+  std::vector<std::pair<uint64_t, uint64_t>> scanned;
+  while (!stop.load(std::memory_order_acquire)) {
+    const uint64_t key = rng.Next() % space;
+    const uint64_t op = rng.Next() % 10;
+    const Clock::time_point t0 = Clock::now();
+    switch (op) {
+      case 0:
+      case 1:
+        store.Upsert(key, key + 1);
+        break;
+      case 2:
+        store.Remove(key);
+        break;
+      case 3:
+        scanned.clear();
+        store.Scan(key, 32, scanned);
+        break;
+      default: {
+        uint64_t value = 0;
+        store.Lookup(key, value);
+        break;
+      }
+    }
+    const Clock::time_point t1 = Clock::now();
+    const uint64_t ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count());
+    const uint64_t slice = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(t1 - start)
+            .count() / kSliceMs);
+    if (slice < kMaxSlices) ++out.slice_ops[slice];
+    const int ph = phase.load(std::memory_order_relaxed);
+    ++out.hist[static_cast<size_t>(ph)]
+          [std::min<uint64_t>(ns / kLatBucketNs, kLatBuckets - 1)];
+  }
+}
+
+void RunSplitTimeline(const BenchFlags& flags, JsonBenchWriter& json) {
+  const uint64_t space = flags.records;
+  const int threads = std::max(2, flags.MaxThreads());
+  const int steady_ms = std::max(flags.duration_ms, 300);
+
+  RangeStore store(kShards, RangeShardRouter::EvenOver(space, kShards));
+  for (uint64_t k = 0; k < space; ++k) store.Insert(k, k + 1);
+
+  // Split the middle span at its midpoint: a real migration (half that
+  // span's keys move) against a boundary no existing span uses.
+  const uint64_t span = space / kShards;
+  const uint64_t split_key = (kShards / 2) * span + span / 2;
+
+  std::printf(
+      "-- online split timeline: %d workers, %u keys, split @ %llu --\n",
+      threads, static_cast<unsigned>(space),
+      static_cast<unsigned long long>(split_key));
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> phase{kSteady};
+  std::vector<WorkerTimeline> timelines(static_cast<size_t>(threads));
+  const Clock::time_point start = Clock::now();
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      TimelineWorker(store, space, 0x8E5ADULL * 257 + static_cast<uint64_t>(t),
+                     stop, phase, start, timelines[static_cast<size_t>(t)]);
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(steady_ms));
+  phase.store(kDuringSplit, std::memory_order_release);
+  const Clock::time_point split_begin = Clock::now();
+  const bool split_ok = store.Split(split_key);
+  const Clock::time_point split_end = Clock::now();
+  phase.store(kAfterSplit, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::milliseconds(steady_ms / 2));
+  stop.store(true, std::memory_order_release);
+  for (auto& w : workers) w.join();
+
+  OPTIQL_CHECK(split_ok);
+  const double split_secs =
+      std::chrono::duration<double>(split_end - split_begin).count();
+  const auto slice_of = [&](Clock::time_point tp) {
+    return static_cast<size_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(tp - start)
+            .count() / kSliceMs);
+  };
+  const size_t split_begin_slice = slice_of(split_begin);
+  const size_t split_end_slice = slice_of(split_end);
+  const size_t last_slice = slice_of(Clock::now());
+
+  // Merge per-thread slices and histograms.
+  std::vector<uint64_t> slices(kMaxSlices, 0);
+  std::array<std::vector<uint64_t>, 3> hist = {
+      std::vector<uint64_t>(kLatBuckets, 0),
+      std::vector<uint64_t>(kLatBuckets, 0),
+      std::vector<uint64_t>(kLatBuckets, 0)};
+  for (const WorkerTimeline& tl : timelines) {
+    for (size_t s = 0; s < kMaxSlices; ++s) slices[s] += tl.slice_ops[s];
+    for (size_t p = 0; p < 3; ++p) {
+      for (size_t b = 0; b < kLatBuckets; ++b) hist[p][b] += tl.hist[p][b];
+    }
+  }
+
+  // Steady mean skips the first two slices (thread ramp) and stops short
+  // of the split. The split window is measured two ways: exact op counts
+  // from the phase histogram (robust even when the split fits inside one
+  // slice) and the worst slice that overlaps the window (the
+  // stop-the-world probe).
+  uint64_t steady_ops = 0;
+  size_t steady_slices = 0;
+  for (size_t s = 2; s + 1 < split_begin_slice; ++s) {
+    steady_ops += slices[s];
+    ++steady_slices;
+  }
+  const double steady_mops =
+      steady_slices == 0
+          ? 0
+          : static_cast<double>(steady_ops) /
+                (static_cast<double>(steady_slices * kSliceMs) * 1e3);
+  const double split_mops =
+      split_secs <= 0
+          ? 0
+          : static_cast<double>(HistOps(hist[kDuringSplit])) / split_secs /
+                1e6;
+  uint64_t worst_split_slice = UINT64_MAX;
+  for (size_t s = split_begin_slice; s <= split_end_slice && s < kMaxSlices;
+       ++s) {
+    worst_split_slice = std::min(worst_split_slice, slices[s]);
+  }
+  if (worst_split_slice == UINT64_MAX) worst_split_slice = 0;
+  const double steady_slice_ops =
+      steady_slices == 0
+          ? 0
+          : static_cast<double>(steady_ops) /
+                static_cast<double>(steady_slices);
+  const double split_frac = steady_mops == 0 ? 0 : split_mops / steady_mops;
+  const double worst_slice_frac =
+      steady_slice_ops == 0
+          ? 0
+          : static_cast<double>(worst_split_slice) / steady_slice_ops;
+
+  TablePrinter table({"phase", "Mops/s", "p50 us", "p99 us", "ops"});
+  const char* names[3] = {"steady", "during split", "after split"};
+  const double mops_by_phase[3] = {
+      steady_mops, split_mops,
+      static_cast<double>(HistOps(hist[kAfterSplit])) /
+          (static_cast<double>(steady_ms / 2) * 1e3)};
+  for (size_t p = 0; p < 3; ++p) {
+    table.AddRow({names[p], TablePrinter::Fmt(mops_by_phase[p]),
+                  TablePrinter::Fmt(PercentileUs(hist[p], 0.50)),
+                  TablePrinter::Fmt(PercentileUs(hist[p], 0.99)),
+                  std::to_string(HistOps(hist[p]))});
+    json.AddRecord(
+        {{"phase", "timeline_summary"},
+         {"window", names[p]},
+         {"threads", JsonBenchWriter::Num(threads)},
+         {"mops", JsonBenchWriter::Num(mops_by_phase[p])},
+         {"p50_us", JsonBenchWriter::Num(PercentileUs(hist[p], 0.50))},
+         {"p99_us", JsonBenchWriter::Num(PercentileUs(hist[p], 0.99))},
+         {"ops", JsonBenchWriter::Num(static_cast<double>(HistOps(hist[p])))}});
+  }
+  table.Print();
+  std::printf(
+      "split took %.2f ms; throughput during split = %.0f%% of steady; "
+      "worst overlapping slice = %.0f%% of a steady slice\n",
+      split_secs * 1e3, split_frac * 100, worst_slice_frac * 100);
+  json.AddRecord(
+      {{"phase", "split_acceptance"},
+       {"split_ms", JsonBenchWriter::Num(split_secs * 1e3)},
+       {"split_over_steady", JsonBenchWriter::Num(split_frac)},
+       {"worst_slice_over_steady", JsonBenchWriter::Num(worst_slice_frac)},
+       {"stop_the_world_gap",
+        worst_split_slice == 0 && split_end_slice > split_begin_slice
+            ? "true"
+            : "false"}});
+
+  // The raw timeline, for plotting. Slices after the workers stopped are
+  // noise; emit up to the last full slice.
+  for (size_t s = 0; s + 1 < last_slice && s < kMaxSlices; ++s) {
+    if (slices[s] == 0 && s > split_end_slice + 2) break;
+    json.AddRecord(
+        {{"phase", "timeline"},
+         {"slice_ms", JsonBenchWriter::Num(static_cast<double>(s * kSliceMs))},
+         {"ops", JsonBenchWriter::Num(static_cast<double>(slices[s]))},
+         {"window", s < split_begin_slice     ? "steady"
+                    : s <= split_end_slice    ? "split"
+                                              : "after"}});
+  }
+  std::printf("\n");
+}
+
+// Fixed-duration scan loop: uniform start keys, fixed scan length.
+template <class Store>
+double RunScanLoop(Store& store, const BenchFlags& flags, int threads,
+                   uint64_t space, size_t scan_len) {
+  RunOptions options;
+  options.threads = threads;
+  options.duration_ms = flags.duration_ms;
+  const RunResult result = RunFixedDuration(
+      options,
+      [&](int tid, const std::atomic<bool>& stop, WorkerStats& stats) {
+        Xoshiro256 rng(0x5CA4ULL * 131 + static_cast<uint64_t>(tid));
+        std::vector<std::pair<uint64_t, uint64_t>> out;
+        while (!stop.load(std::memory_order_acquire)) {
+          out.clear();
+          store.Scan(rng.Next() % space, scan_len, out);
+          ++stats.ops;
+        }
+      });
+  return result.MopsPerSec();
+}
+
+void RunScanCost(const BenchFlags& flags, JsonBenchWriter& json) {
+  const uint64_t space = flags.records;
+  auto hash_store = std::make_unique<HashStore>(kShards);
+  auto range_store = std::make_unique<RangeStore>(
+      kShards, RangeShardRouter::EvenOver(space, kShards));
+  for (uint64_t k = 0; k < space; ++k) {
+    hash_store->Insert(k, k + 1);
+    range_store->Insert(k, k + 1);
+  }
+
+  std::printf(
+      "-- scan cost by router (%zu shards): hash scatter-gathers every "
+      "shard, range touches only intersecting spans --\n",
+      kShards);
+  TablePrinter table(
+      {"threads", "scan len", "hash Mscan/s", "range Mscan/s", "range/hash"});
+  std::vector<int> thread_counts = {1};
+  if (flags.MaxThreads() > 1) thread_counts.push_back(flags.MaxThreads());
+  for (int threads : thread_counts) {
+    for (size_t scan_len : {size_t{16}, size_t{100}}) {
+      const double hash_mscans =
+          RunScanLoop(*hash_store, flags, threads, space, scan_len);
+      const double range_mscans =
+          RunScanLoop(*range_store, flags, threads, space, scan_len);
+      const double ratio =
+          hash_mscans == 0 ? 0 : range_mscans / hash_mscans;
+      char ratio_buf[32];
+      std::snprintf(ratio_buf, sizeof(ratio_buf), "%.2fx", ratio);
+      table.AddRow({std::to_string(threads), std::to_string(scan_len),
+                    TablePrinter::Fmt(hash_mscans),
+                    TablePrinter::Fmt(range_mscans), ratio_buf});
+      json.AddRecord({{"phase", "scan_cost"},
+                      {"shards", JsonBenchWriter::Num(kShards)},
+                      {"threads", JsonBenchWriter::Num(threads)},
+                      {"scan_len", JsonBenchWriter::Num(scan_len)},
+                      {"hash_mscans", JsonBenchWriter::Num(hash_mscans)},
+                      {"range_mscans", JsonBenchWriter::Num(range_mscans)},
+                      {"range_over_hash", JsonBenchWriter::Num(ratio)}});
+    }
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace optiql
+
+int main(int argc, char** argv) {
+  using namespace optiql;
+  const BenchFlags flags = BenchFlags::Parse(argc, argv);
+  PrintBanner("Extension: elastic sharding (online split/merge)",
+              "range routing + epoch-published tables, ISSUE 10", flags);
+  JsonBenchWriter json;
+  RunSplitTimeline(flags, json);
+  RunScanCost(flags, json);
+  if (flags.json) {
+    const std::string path =
+        flags.json_path.empty() ? "BENCH_reshard.json" : flags.json_path;
+    json.WriteFile(path);
+  }
+  return 0;
+}

@@ -1,19 +1,37 @@
 // A concurrent in-memory key-value store built on a sharded OptiQL
-// B+-tree: ShardedStore hash-routes point ops across N independent trees
-// (one epoch domain, per-shard indexes) and merges range scans across
-// shards, so the hot 80/20 keys land on different shards instead of
+// B+-tree: ShardedStore routes point ops across N independent trees (one
+// epoch domain, per-shard indexes) behind an epoch-published routing
+// table, so the hot 80/20 keys land on different shards instead of
 // convoying on a handful of hot leaves.
+//
+// Two routers (--router=hash|range):
+//   hash  — full-avalanche Mix64 partitioning; scans scatter-gather and
+//           merge across every shard.
+//   range — contiguous key spans, one shard per span; scans touch only
+//           the shards whose span intersects the range, and the store
+//           supports ONLINE shard split/merge while the workload runs.
 //
 // Simulates an OLTP-style session workload: a pool of worker threads serves
 // GET/PUT/DELETE/SCAN requests against the shared store with a skewed
-// (80/20) access pattern like a real cache-busting workload. Demonstrates
-// the full store API including scatter-gather range scans.
+// (80/20) access pattern like a real cache-busting workload.
 //
-// Build & run:  ./build/examples/kv_store [num_threads] [seconds] [--shards=N]
+// Build & run:  ./build/examples/kv_store [num_threads] [seconds]
+//                   [--shards=N] [--router=hash|range] [--repl]
+//
+// --repl (range router only) keeps the workers running and reads reshard
+// commands from stdin while ops continue:
+//   stats         print throughput-so-far and the live span map
+//   split <key>   online-split the span holding <key> at <key>
+//   merge <key>   merge the span beginning at <key> into its left neighbor
+//   quit          stop the workers and print the final report
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -26,17 +44,21 @@ namespace {
 
 using Tree = optiql::BTree<uint64_t, uint64_t,
                            optiql::BTreeOptiQlPolicy<optiql::OptiQL>>;
-using Store = optiql::ShardedStore<Tree>;
+using HashStore = optiql::ShardedStore<Tree>;
+using RangeStore = optiql::ShardedStore<Tree, optiql::RangeShardRouter>;
+
+constexpr uint64_t kKeySpace = 1000000;  // GET/PUT keys come from [0, 1M).
 
 struct SessionStats {
   uint64_t gets = 0, hits = 0, puts = 0, deletes = 0, scans = 0,
            scanned_pairs = 0;
 };
 
+template <class Store>
 void RunSession(Store& store, int id, std::atomic<bool>& stop,
                 SessionStats& stats) {
   optiql::Xoshiro256 rng(static_cast<uint64_t>(id) * 77 + 13);
-  const optiql::SelfSimilarDistribution hot_keys(1000000, 0.2);
+  const optiql::SelfSimilarDistribution hot_keys(kKeySpace, 0.2);
   std::vector<std::pair<uint64_t, uint64_t>> scan_buffer;
   while (!stop.load(std::memory_order_acquire)) {
     const uint64_t key = hot_keys.Next(rng);
@@ -49,7 +71,7 @@ void RunSession(Store& store, int id, std::atomic<bool>& stop,
         store.Remove(key);
         ++stats.deletes;
         break;
-      case 2: {  // 10% short SCAN (merged across every shard).
+      case 2: {  // 10% short SCAN.
         stats.scanned_pairs += store.Scan(key, 16, scan_buffer);
         ++stats.scans;
         break;
@@ -64,32 +86,81 @@ void RunSession(Store& store, int id, std::atomic<bool>& stop,
   }
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  int threads = 4;
-  int seconds = 2;
-  size_t shards = 8;
-  int positional = 0;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--shards=", 9) == 0) {
-      shards = static_cast<size_t>(std::strtoull(argv[i] + 9, nullptr, 10));
-      if (shards == 0) shards = 1;
-    } else if (++positional == 1) {
-      threads = std::atoi(argv[i]);
-    } else if (positional == 2) {
-      seconds = std::atoi(argv[i]);
+template <class Store>
+void PrintShardMap(const Store& store) {
+  if constexpr (Store::kElastic) {
+    const auto spans = store.SpanSnapshot();
+    std::printf("  span map    : %zu spans, routing version %llu\n",
+                spans.size(),
+                static_cast<unsigned long long>(store.RoutingVersion()));
+    for (const auto& span : spans) {
+      std::printf("    [%10llu, %20llu] -> slot %-3u %zu keys\n",
+                  static_cast<unsigned long long>(span.begin),
+                  static_cast<unsigned long long>(span.last), span.shard,
+                  span.size);
+    }
+  } else {
+    std::printf("  shard map   : %zu hash shards\n", store.ShardCount());
+    for (size_t s = 0; s < store.ShardCount(); ++s) {
+      std::printf("    shard %-2zu  : %zu keys, height %d\n", s,
+                  store.ShardAt(s).Size(), store.ShardAt(s).Height());
     }
   }
+}
 
-  std::printf(
-      "kv_store: sharded OptiQL B+-tree KV store, %zu shards, "
-      "%d worker threads, %d s\n",
-      shards, threads, seconds);
+uint64_t TotalOps(const std::vector<SessionStats>& stats) {
+  uint64_t ops = 0;
+  for (const auto& s : stats) ops += s.gets + s.puts + s.deletes + s.scans;
+  return ops;
+}
 
-  Store store(shards);
-  std::printf("Loading 500000 keys...\n");
-  for (uint64_t k = 0; k < 500000; ++k) {
+// Reads reshard commands from stdin until "quit"/EOF; the workload keeps
+// running the whole time — split/merge are online.
+void RunRepl(RangeStore& store, const std::vector<SessionStats>& stats,
+             std::chrono::steady_clock::time_point start) {
+  std::printf("repl> commands: stats | split <key> | merge <key> | quit\n");
+  std::string line;
+  while (std::printf("repl> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    uint64_t key = 0;
+    in >> cmd;
+    if (cmd == "quit" || cmd == "q") break;
+    if (cmd == "stats") {
+      const double elapsed = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - start)
+                                 .count();
+      const uint64_t ops = TotalOps(stats);
+      std::printf("  %.2f s, %llu ops (%.2f Mops/s), %zu keys\n", elapsed,
+                  static_cast<unsigned long long>(ops),
+                  static_cast<double>(ops) / elapsed / 1e6, store.Size());
+      PrintShardMap(store);
+    } else if ((cmd == "split" || cmd == "merge") && (in >> key)) {
+      const auto op_start = std::chrono::steady_clock::now();
+      const bool ok = cmd == "split" ? store.Split(key) : store.Merge(key);
+      const double ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - op_start)
+                            .count();
+      if (ok) {
+        std::printf("  %s @ %llu done in %.1f ms (online)\n", cmd.c_str(),
+                    static_cast<unsigned long long>(key), ms);
+        PrintShardMap(store);
+      } else {
+        std::printf("  %s @ %llu rejected (not a valid boundary)\n",
+                    cmd.c_str(), static_cast<unsigned long long>(key));
+      }
+    } else if (!cmd.empty()) {
+      std::printf("  ? unknown command '%s'\n", cmd.c_str());
+    }
+  }
+}
+
+template <class Store>
+int RunStore(Store& store, int threads, int seconds, bool repl) {
+  std::printf("Loading %llu keys...\n",
+              static_cast<unsigned long long>(kKeySpace / 2));
+  for (uint64_t k = 0; k < kKeySpace / 2; ++k) {
     store.Insert(k * 2, k);  // Even keys: half the GET keyspace misses.
   }
 
@@ -98,10 +169,16 @@ int main(int argc, char** argv) {
   std::vector<std::thread> workers;
   const auto start = std::chrono::steady_clock::now();
   for (int t = 0; t < threads; ++t) {
-    workers.emplace_back(RunSession, std::ref(store), t, std::ref(stop),
+    workers.emplace_back(RunSession<Store>, std::ref(store), t, std::ref(stop),
                          std::ref(stats[static_cast<size_t>(t)]));
   }
-  std::this_thread::sleep_for(std::chrono::seconds(seconds));
+  if (repl) {
+    if constexpr (Store::kElastic) {
+      RunRepl(store, stats, start);
+    }
+  } else {
+    std::this_thread::sleep_for(std::chrono::seconds(seconds));
+  }
   stop.store(true, std::memory_order_release);
   for (auto& w : workers) w.join();
   const double elapsed =
@@ -136,13 +213,61 @@ int main(int argc, char** argv) {
               total.scans ? static_cast<double>(total.scanned_pairs) /
                                 static_cast<double>(total.scans)
                           : 0.0);
-  std::printf("  store size  : %zu keys across %zu shards\n", store.Size(),
-              store.ShardCount());
-  for (size_t s = 0; s < store.ShardCount(); ++s) {
-    std::printf("    shard %-2zu  : %zu keys, height %d\n", s,
-                store.ShardAt(s).Size(), store.ShardAt(s).Height());
-  }
+  std::printf("  store size  : %zu keys\n", store.Size());
+  PrintShardMap(store);
   store.CheckInvariants();
   std::printf("  invariants  : OK\n");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int threads = 4;
+  int seconds = 2;
+  size_t shards = 8;
+  bool range_router = false;
+  bool repl = false;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      shards = static_cast<size_t>(std::strtoull(argv[i] + 9, nullptr, 10));
+      if (shards == 0) shards = 1;
+    } else if (std::strncmp(argv[i], "--router=", 9) == 0) {
+      const char* name = argv[i] + 9;
+      if (std::strcmp(name, "range") == 0) {
+        range_router = true;
+      } else if (std::strcmp(name, "hash") != 0) {
+        std::fprintf(stderr, "unknown router '%s' (hash|range)\n", name);
+        return 1;
+      }
+    } else if (std::strcmp(argv[i], "--repl") == 0) {
+      repl = true;
+    } else if (++positional == 1) {
+      threads = std::atoi(argv[i]);
+    } else if (positional == 2) {
+      seconds = std::atoi(argv[i]);
+    }
+  }
+  if (repl && !range_router) {
+    std::fprintf(stderr, "--repl requires --router=range (reshard is a "
+                         "range-router operation)\n");
+    return 1;
+  }
+
+  std::printf(
+      "kv_store: sharded OptiQL B+-tree KV store, %zu shards, "
+      "%s router, %d worker threads%s\n",
+      shards, range_router ? "range" : "hash", threads,
+      repl ? ", repl" : "");
+
+  if (range_router) {
+    // Span the loaded keyspace evenly; keys outside it land in the last
+    // span until a split moves them.
+    RangeStore store(shards,
+                     optiql::RangeShardRouter::EvenOver(kKeySpace, shards));
+    return RunStore(store, threads, seconds, repl);
+  }
+  HashStore store(shards);
+  return RunStore(store, threads, seconds, repl);
 }

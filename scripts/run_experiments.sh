@@ -65,6 +65,7 @@ benches=(
   "ext_adaptive --json"
   "ext_txn --json"
   "ext_batch --json"
+  "ext_reshard --json"
 )
 
 {

@@ -86,6 +86,11 @@ struct SeededBugs {
   // MCS-RW TryUpgradeShNoQueue: grant the upgrade even when other readers
   // are still active (sole-holder check skipped).
   bool mcsrw_upgrade_ignores_readers = false;
+  // Elastic reshard handover: the migration copier reads the source and
+  // writes the target WITHOUT holding the chunk gate, so a concurrent
+  // double-applied remove can interleave between its read and its write
+  // and the stale copy resurrects the removed key in the target.
+  bool reshard_copy_skips_gate = false;
 };
 SeededBugs& bugs();
 

@@ -90,6 +90,17 @@ concept HasCheckInvariantsOp = requires(const Index t) {
   t.CheckInvariants();
 };
 
+// Versioned key routing (the sharded store's epoch-published routing
+// table). Even versions are steady state; odd versions mean a shard
+// migration window is open. The txn layer snapshots this at begin and
+// aborts at commit on any change (or an open window), because transactions
+// resolve keys to record locks through the table and a moved span would
+// silently split a transaction across two record homes.
+template <class Index>
+concept HasRoutingVersionOp = requires(const Index t) {
+  { t.RoutingVersion() } -> std::convertible_to<uint64_t>;
+};
+
 // --- Transaction-host capabilities -----------------------------------------
 //
 // An index is a transaction host when it exposes its record-guarding locks

@@ -2,14 +2,33 @@
 
 #include <cstdlib>
 #include <new>
+#include <thread>
 
 namespace optiql {
+
+namespace {
+
+// Thread-local retire-bucket tag (RetireBucketScope). A plain thread_local
+// integer: trivially destructible, safe to touch from registry exit hooks.
+thread_local uint32_t g_retire_bucket = EpochManager::kDefaultBucket;
+
+}  // namespace
+
+uint32_t RetireBucketScope::Current() { return g_retire_bucket; }
+
+uint32_t RetireBucketScope::Swap(uint32_t tag) {
+  const uint32_t previous = g_retire_bucket;
+  g_retire_bucket = tag;
+  return previous;
+}
 
 struct EpochManager::ThreadState {
   EpochManager* owner = nullptr;
   Slot* slot = nullptr;
-  uint32_t depth = 0;  // Guard nesting depth.
-  std::vector<RetiredObject> retired;
+  uint32_t depth = 0;   // Guard nesting depth.
+  bool reclaiming = false;  // Re-entrancy latch for ReclaimFrom.
+  size_t pending = 0;   // Total un-reclaimed retirements across buckets.
+  std::vector<RetireBucket> buckets;
 
   ~ThreadState() {
     if (owner == nullptr) return;
@@ -17,7 +36,13 @@ struct EpochManager::ThreadState {
     // remainder to the manager's orphan list, where any thread's next
     // reclaim pass picks it up.
     owner->ReclaimFrom(*this);
-    if (!retired.empty()) owner->AdoptOrphans(std::move(retired));
+    std::vector<RetiredObject> leftovers;
+    for (RetireBucket& bucket : buckets) {
+      for (size_t i = bucket.head; i < bucket.list.size(); ++i) {
+        leftovers.push_back(bucket.list[i]);
+      }
+    }
+    if (!leftovers.empty()) owner->AdoptOrphans(std::move(leftovers));
     if (slot != nullptr) {
       slot->epoch.store(kQuiescent, std::memory_order_release);
     }
@@ -63,6 +88,17 @@ EpochManager::ThreadState& EpochManager::LocalState() {
   return *state;
 }
 
+EpochManager::RetireBucket& EpochManager::BucketFor(ThreadState& state,
+                                                    uint32_t tag) {
+  // Linear scan: a thread touches a handful of shards, and the common case
+  // (the tag of the previous retire) is an early hit.
+  for (RetireBucket& bucket : state.buckets) {
+    if (bucket.tag == tag) return bucket;
+  }
+  state.buckets.push_back(RetireBucket{tag, 0, {}});
+  return state.buckets.back();
+}
+
 void EpochManager::Enter() {
   ThreadState& state = LocalState();
   if (state.depth++ > 0) return;
@@ -79,7 +115,7 @@ void EpochManager::Exit() {
   OPTIQL_CHECK(state.depth > 0);
   if (--state.depth > 0) return;
   state.slot->epoch.store(kQuiescent, std::memory_order_release);
-  if (!state.retired.empty()) ReclaimIfPossible();
+  if (state.pending != 0) ReclaimIfPossible();
 }
 
 void EpochManager::Retire(void* object, void (*deleter)(void*)) {
@@ -90,7 +126,9 @@ void EpochManager::Retire(void* object, void (*deleter)(void*)) {
   // and thus cannot reach `object` anymore.
   std::atomic_thread_fence(std::memory_order_seq_cst);
   const uint64_t epoch = global_epoch_.load(std::memory_order_acquire);
-  state.retired.push_back(RetiredObject{object, deleter, epoch});
+  BucketFor(state, g_retire_bucket)
+      .list.push_back(RetiredObject{object, deleter, epoch});
+  ++state.pending;
   retired_total_.fetch_add(1, std::memory_order_relaxed);
   if (retire_clock_.fetch_add(1, std::memory_order_relaxed) %
           kRetiresPerEpochAdvance ==
@@ -112,39 +150,89 @@ uint64_t EpochManager::MinActiveEpoch() const {
   return min_epoch;
 }
 
+void EpochManager::Synchronize() {
+  ThreadState& state = LocalState();
+  // A guard held by this thread would pin MinActiveEpoch at (or below) the
+  // observed epoch forever: self-deadlock, so forbid it.
+  OPTIQL_CHECK(state.depth == 0);
+  // Everything active at this instant entered at <= observed; the bump
+  // makes every later entrant announce a strictly larger epoch, so once
+  // the minimum active epoch exceeds `observed`, every guard that was open
+  // at the call has closed at least once.
+  const uint64_t observed = global_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  while (MinActiveEpoch() <= observed) {
+    std::this_thread::yield();
+  }
+}
+
 size_t EpochManager::ReclaimIfPossible() { return ReclaimFrom(LocalState()); }
 
 size_t EpochManager::ReclaimFrom(ThreadState& state) {
-  if (state.retired.empty()) {
-    return ReclaimOrphans(MinActiveEpoch());
-  }
+  // Deleters may themselves trigger reclamation (a retired container's
+  // destructor calling ReclaimIfPossible): the latch turns the nested call
+  // into a no-op instead of a double drain of the same entries.
+  if (state.reclaiming) return 0;
+  state.reclaiming = true;
   // Objects retired in epoch E may still be visible to threads active in
   // epochs E and E+1 (the advance is unchecked, so one extra epoch of slack
   // absorbs in-flight announcements); they are safe once every active
   // thread is at least two epochs past the retirement.
   const uint64_t min_active = MinActiveEpoch();
   const size_t from_orphans = ReclaimOrphans(min_active);
-  size_t from_list = 0;
-  auto& list = state.retired;
-  for (size_t i = 0; i < list.size();) {
-    if (list[i].epoch + 1 < min_active) {  // kQuiescent => no active readers.
-      list[i].deleter(list[i].object);
-      list[i] = list.back();
-      list.pop_back();
-      ++from_list;
-    } else {
-      ++i;
+  size_t from_lists = 0;
+  // Index-based: a deleter that retires into a fresh tag can grow
+  // state.buckets and invalidate references.
+  for (size_t b = 0; b < state.buckets.size(); ++b) {
+    // FIFO drain: epochs are non-decreasing within the bucket, so the
+    // first still-visible entry ends this bucket's pass without touching
+    // anything behind it. head advances before the deleter runs so the
+    // entry is never seen twice.
+    while (true) {
+      RetireBucket& bucket = state.buckets[b];
+      if (bucket.head >= bucket.list.size() ||
+          bucket.list[bucket.head].epoch + 1 >= min_active) {  // kQuiescent
+        break;                                                 // => none.
+      }
+      const RetiredObject victim = bucket.list[bucket.head];
+      ++bucket.head;
+      ++from_lists;
+      victim.deleter(victim.object);
+    }
+    RetireBucket& bucket = state.buckets[b];
+    if (bucket.head == bucket.list.size()) {
+      bucket.list.clear();
+      bucket.head = 0;
+    } else if (bucket.head >= 64 && bucket.head * 2 >= bucket.list.size()) {
+      bucket.list.erase(
+          bucket.list.begin(),
+          bucket.list.begin() + static_cast<ptrdiff_t>(bucket.head));
+      bucket.head = 0;
     }
   }
-  reclaimed_total_.fetch_add(from_list, std::memory_order_relaxed);
-  return from_orphans + from_list;
+  state.pending -= from_lists;
+  reclaimed_total_.fetch_add(from_lists, std::memory_order_relaxed);
+  state.reclaiming = false;
+  return from_orphans + from_lists;
 }
 
 size_t EpochManager::ReclaimAllUnsafe() {
   ThreadState& state = LocalState();
-  size_t reclaimed = state.retired.size();
-  for (const RetiredObject& r : state.retired) r.deleter(r.object);
-  state.retired.clear();
+  state.reclaiming = true;  // Nested ReclaimIfPossible from deleters: no-op.
+  size_t reclaimed = 0;
+  for (size_t b = 0; b < state.buckets.size(); ++b) {
+    while (true) {
+      RetireBucket& bucket = state.buckets[b];
+      if (bucket.head >= bucket.list.size()) break;
+      const RetiredObject victim = bucket.list[bucket.head];
+      ++bucket.head;
+      ++reclaimed;
+      victim.deleter(victim.object);
+    }
+    state.buckets[b].list.clear();
+    state.buckets[b].head = 0;
+  }
+  state.pending = 0;
+  state.reclaiming = false;
   std::vector<RetiredObject> orphans;
   {
     std::lock_guard<std::mutex> guard(orphan_mu_);
@@ -182,7 +270,15 @@ void EpochManager::AdoptOrphans(std::vector<RetiredObject>&& leftovers) {
 }
 
 size_t EpochManager::RetiredCount() const {
-  return const_cast<EpochManager*>(this)->LocalState().retired.size();
+  return const_cast<EpochManager*>(this)->LocalState().pending;
+}
+
+size_t EpochManager::RetiredCountInBucket(uint32_t tag) const {
+  ThreadState& state = const_cast<EpochManager*>(this)->LocalState();
+  for (const RetireBucket& bucket : state.buckets) {
+    if (bucket.tag == tag) return bucket.Pending();
+  }
+  return 0;
 }
 
 }  // namespace optiql

@@ -13,6 +13,14 @@
 // kRetiresPerEpochAdvance retirements; a retired object is reclaimed when
 // min(active thread epochs) exceeds its retirement epoch.
 //
+// Retire lists are BUCKETED by an opaque caller-chosen tag (the sharded
+// store tags by shard slot via RetireBucketScope). Within one thread each
+// bucket is a FIFO whose epochs are monotonically non-decreasing, so a
+// reclaim pass drains each bucket from the front and stops at the first
+// still-visible object: a retirement burst against one hot shard cannot put
+// thousands of young entries in front of another shard's old, long-safe
+// ones, and the pass costs O(reclaimed + buckets) instead of O(pending).
+//
 // Slots are indexed by ThreadRegistry IDs: the registry is the one place
 // threads register, and its exit hooks tear this manager's per-thread state
 // down before the ID can be recycled.
@@ -35,6 +43,7 @@ class EpochManager {
   static constexpr uint32_t kMaxThreads = ThreadRegistry::kMaxThreads;
   static constexpr uint64_t kQuiescent = ~0ULL;
   static constexpr uint32_t kRetiresPerEpochAdvance = 64;
+  static constexpr uint32_t kDefaultBucket = 0;
 
   EpochManager();
   ~EpochManager();
@@ -53,7 +62,8 @@ class EpochManager {
   void Exit();
 
   // Schedules `object` for deletion once all current readers are gone.
-  // Must be called while inside an Enter/Exit pair.
+  // Must be called while inside an Enter/Exit pair. The object lands in
+  // this thread's bucket for the current RetireBucketScope tag.
   void Retire(void* object, void (*deleter)(void*));
 
   template <class T>
@@ -62,18 +72,28 @@ class EpochManager {
   }
 
   // Frees every retired object that no active thread can still observe.
-  // Returns the number of objects reclaimed (from this thread's list).
+  // Returns the number of objects reclaimed (from this thread's buckets).
   size_t ReclaimIfPossible();
 
-  // Drains this thread's retire list unconditionally. Only safe when the
+  // Drains this thread's retire buckets unconditionally. Only safe when the
   // caller guarantees no concurrent readers (e.g., index destructor).
   size_t ReclaimAllUnsafe();
+
+  // Grace period: advances the global epoch and spins until every thread
+  // that was inside a guard at the time of the call has exited it. On
+  // return, no reader can still hold a reference published before the
+  // call (e.g. a routing-table snapshot that was since replaced). Must be
+  // called OUTSIDE any guard on the calling thread — a held guard would
+  // wait on itself.
+  void Synchronize();
 
   // --- Introspection (tests/diagnostics) ---
   uint64_t CurrentEpoch() const {
     return global_epoch_.load(std::memory_order_acquire);
   }
   size_t RetiredCount() const;  // This thread's pending retirements.
+  // Pending retirements in one bucket of this thread (tests).
+  size_t RetiredCountInBucket(uint32_t tag) const;
 
   // Lifetime totals across all threads (monotonic; for steady-state
   // reporting: a workload is leak-free when the two advance in lockstep).
@@ -95,10 +115,22 @@ class EpochManager {
     uint64_t epoch;
   };
 
+  // One per-thread retire bucket: a FIFO drained from `head`. Epochs are
+  // appended in non-decreasing order (Retire reads the monotone global
+  // epoch), so the first still-visible entry blocks only its own bucket.
+  struct RetireBucket {
+    uint32_t tag = kDefaultBucket;
+    size_t head = 0;
+    std::vector<RetiredObject> list;
+
+    size_t Pending() const { return list.size() - head; }
+  };
+
   struct ThreadState;
   friend struct ThreadState;
 
   ThreadState& LocalState();
+  RetireBucket& BucketFor(ThreadState& state, uint32_t tag);
   size_t ReclaimFrom(ThreadState& state);
   size_t ReclaimOrphans(uint64_t min_active);
   void AdoptOrphans(std::vector<RetiredObject>&& leftovers);
@@ -130,6 +162,25 @@ class EpochGuard {
 
  private:
   EpochManager& manager_;
+};
+
+// Tags every Retire on this thread with `tag` for the scope's lifetime, so
+// retirements bucket per shard (or any other domain) instead of piling into
+// one list. Nestable; restores the previous tag on exit. Code that never
+// opens a scope retires into kDefaultBucket, preserving the old behavior.
+class RetireBucketScope {
+ public:
+  explicit RetireBucketScope(uint32_t tag) : previous_(Swap(tag)) {}
+  ~RetireBucketScope() { Swap(previous_); }
+
+  RetireBucketScope(const RetireBucketScope&) = delete;
+  RetireBucketScope& operator=(const RetireBucketScope&) = delete;
+
+  static uint32_t Current();
+
+ private:
+  static uint32_t Swap(uint32_t tag);
+  uint32_t previous_;
 };
 
 }  // namespace optiql

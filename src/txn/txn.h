@@ -87,6 +87,9 @@ class OccTxn {
   explicit OccTxn(Index& index) : index_(index) {
     reads_.reserve(8);
     writes_.reserve(4);
+    if constexpr (HasRoutingVersionOp<Index>) {
+      routing_version_ = index_.RoutingVersion();
+    }
   }
 
   OccTxn(const OccTxn&) = delete;
@@ -161,6 +164,20 @@ class OccTxn {
       ++num_guards_;
     }
 
+    // Routing fence (sharded hosts): if the routing table changed since
+    // begin — or a migration window is open (odd version) — the records we
+    // resolved above may no longer be their keys' homes; abort so the
+    // retry re-resolves every shard against the new table. Checked after
+    // the lock phase: from here to install the write set is pinned by its
+    // record locks, which a migrating copier cannot read past.
+    if constexpr (HasRoutingVersionOp<Index>) {
+      const uint64_t routing_now = index_.RoutingVersion();
+      if (routing_now != routing_version_ || (routing_now & 1) != 0) {
+        ReleaseGuards(/*installed=*/false);
+        return false;
+      }
+    }
+
     // Validation phase: every read must still carry its snapshot version.
     // A record we locked ourselves validates through the held-version the
     // grant carries; anything else through the plain seqlock check (which
@@ -228,6 +245,7 @@ class OccTxn {
   std::vector<Write> writes_;
   typename Index::TxnWriteGuard guards_[ThreadQNodes::kMaxTxnLocks];
   size_t num_guards_ = 0;
+  uint64_t routing_version_ = 0;  // Snapshot at begin (routed hosts only).
   bool finished_ = false;
 };
 
@@ -241,7 +259,12 @@ class TwoPlTxn {
   using Ops = TxnOps<Lock>;
   static constexpr bool kSharedReads = TxnSharedReadHost<Index>;
 
-  explicit TwoPlTxn(Index& index) : index_(index) { entries_.reserve(4); }
+  explicit TwoPlTxn(Index& index) : index_(index) {
+    entries_.reserve(4);
+    if constexpr (HasRoutingVersionOp<Index>) {
+      routing_version_ = index_.RoutingVersion();
+    }
+  }
 
   TwoPlTxn(const TwoPlTxn&) = delete;
   TwoPlTxn& operator=(const TwoPlTxn&) = delete;
@@ -299,11 +322,25 @@ class TwoPlTxn {
     return TxnResult::kOk;
   }
 
-  // Installs buffered writes and releases everything. Cannot fail: every
-  // lock is already held.
+  // Installs buffered writes and releases everything. Every lock is
+  // already held, so the only failure is the routing fence below: on a
+  // sharded host whose table changed since begin (or has a migration
+  // window open), the held records may no longer be their keys' homes —
+  // release without installing and let RunTxn retry on the new table.
   bool Commit() {
     OPTIQL_INVARIANT(!finished_, "Commit on a finished transaction");
     finished_ = true;
+    if constexpr (HasRoutingVersionOp<Index>) {
+      const uint64_t routing_now = index_.RoutingVersion();
+      if (routing_now != routing_version_ || (routing_now & 1) != 0) {
+        for (size_t i = 0; i < num_guards_; ++i) {
+          guards_[i].Unlock(/*installed=*/false);
+        }
+        num_guards_ = 0;
+        ReleaseSharedHolds();
+        return false;
+      }
+    }
     bool installed[ThreadQNodes::kMaxTxnLocks] = {};
     for (const Entry& entry : entries_) {
       if (!entry.pending) continue;
@@ -423,6 +460,7 @@ class TwoPlTxn {
   std::vector<const Lock*> shared_holds_;
   typename Index::TxnWriteGuard guards_[ThreadQNodes::kMaxTxnLocks];
   size_t num_guards_ = 0;
+  uint64_t routing_version_ = 0;  // Snapshot at begin (routed hosts only).
   bool finished_ = false;
 };
 

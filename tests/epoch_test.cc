@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -126,6 +127,142 @@ TEST(EpochTest, ConcurrentChurnReclaimsEverythingEventually) {
   }
   EXPECT_EQ(created.load(), 4 * 800);
   EXPECT_EQ(deleted.load(), created.load());
+}
+
+TEST(EpochTest, RetireBucketsTrackPerTagCounts) {
+  static std::atomic<int> deleted{0};
+  deleted = 0;
+  RunInFreshThread(+[](EpochManager& manager) {
+    {
+      EpochGuard guard(manager);
+      {
+        RetireBucketScope tag(7);
+        EXPECT_EQ(RetireBucketScope::Current(), 7u);
+        manager.Retire(new TrackedObject(deleted));
+        manager.Retire(new TrackedObject(deleted));
+        {
+          RetireBucketScope nested(9);  // Scopes nest and restore.
+          manager.Retire(new TrackedObject(deleted));
+        }
+        EXPECT_EQ(RetireBucketScope::Current(), 7u);
+      }
+      EXPECT_EQ(RetireBucketScope::Current(), EpochManager::kDefaultBucket);
+      manager.Retire(new TrackedObject(deleted));  // Default bucket.
+      // Counts are checked while the guard is still open: leaving the last
+      // guard triggers an automatic reclaim pass that drains the buckets.
+      EXPECT_EQ(manager.RetiredCountInBucket(7), 2u);
+      EXPECT_EQ(manager.RetiredCountInBucket(9), 1u);
+      EXPECT_EQ(manager.RetiredCountInBucket(EpochManager::kDefaultBucket),
+                1u);
+      EXPECT_EQ(manager.RetiredCountInBucket(12345), 0u);
+      EXPECT_EQ(manager.RetiredCount(), 4u);
+    }
+    // No reader pinned the epoch, so the exit-time reclaim freed everything.
+    EXPECT_EQ(manager.RetiredCount(), 0u);
+    EXPECT_EQ(manager.RetiredCountInBucket(7), 0u);
+    EXPECT_EQ(deleted.load(), 4);
+  });
+  EXPECT_EQ(deleted.load(), 4);
+}
+
+TEST(EpochTest, SynchronizeWaitsForActiveGuard) {
+  RunInFreshThread(+[](EpochManager& manager) {
+    std::atomic<bool> reader_in{false};
+    std::atomic<bool> release_reader{false};
+    std::atomic<bool> reader_exited{false};
+    std::thread reader([&] {
+      {
+        EpochGuard guard(manager);
+        reader_in.store(true, std::memory_order_release);
+        while (!release_reader.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+      }
+      reader_exited.store(true, std::memory_order_release);
+    });
+    while (!reader_in.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    // Release the reader from a helper so the Synchronize below genuinely
+    // overlaps the guard: by the time it returns, the guard MUST be gone.
+    std::thread releaser([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      release_reader.store(true, std::memory_order_release);
+    });
+    manager.Synchronize();
+    EXPECT_TRUE(reader_exited.load(std::memory_order_acquire));
+    reader.join();
+    releaser.join();
+  });
+}
+
+TEST(EpochTest, SynchronizeMakesPriorRetirementsReclaimable) {
+  static std::atomic<int> deleted{0};
+  deleted = 0;
+  RunInFreshThread(+[](EpochManager& manager) {
+    // A concurrent reader pins the epoch so the retirer's exit-time reclaim
+    // pass cannot free the object.
+    std::atomic<bool> reader_in{false};
+    std::atomic<bool> release_reader{false};
+    std::thread reader([&] {
+      EpochGuard guard(manager);
+      reader_in.store(true, std::memory_order_release);
+      while (!release_reader.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+    });
+    while (!reader_in.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    {
+      EpochGuard guard(manager);
+      manager.Retire(new TrackedObject(deleted));
+    }
+    EXPECT_EQ(deleted.load(), 0);  // Pinned by the reader.
+    std::thread releaser([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      release_reader.store(true, std::memory_order_release);
+    });
+    // Synchronize waits out the reader's guard; after the grace period a
+    // plain (safe) reclaim pass must free it, without ReclaimAllUnsafe.
+    manager.Synchronize();
+    EXPECT_EQ(manager.ReclaimIfPossible(), 1u);
+    reader.join();
+    releaser.join();
+  });
+  EXPECT_EQ(deleted.load(), 1);
+}
+
+// Regression: a retired object whose destructor itself triggers a reclaim
+// pass (a retired container draining the epoch layer on teardown) must not
+// re-enter the in-progress drain and double-free.
+TEST(EpochTest, ReclaimSurvivesReentrantDeleter) {
+  struct ReentrantObject {
+    EpochManager* manager;
+    std::atomic<int>* counter;
+    ~ReentrantObject() {
+      counter->fetch_add(1, std::memory_order_acq_rel);
+      manager->ReclaimIfPossible();
+    }
+  };
+  static std::atomic<int> deleted{0};
+  deleted = 0;
+  RunInFreshThread(+[](EpochManager& manager) {
+    {
+      EpochGuard guard(manager);
+      for (int i = 0; i < 4; ++i) {
+        manager.Retire(new ReentrantObject{&manager, &deleted});
+      }
+      EXPECT_EQ(manager.RetiredCount(), 4u);
+    }
+    // The exit-time reclaim pass ran the four deleters, each of which
+    // re-entered ReclaimIfPossible mid-drain. Without the re-entrancy latch
+    // this double-frees (caught by ASan) instead of counting to exactly 4.
+    EXPECT_EQ(deleted.load(), 4);
+    EXPECT_EQ(manager.RetiredCount(), 0u);
+    EXPECT_EQ(manager.ReclaimIfPossible(), 0u);
+  });
+  EXPECT_EQ(deleted.load(), 4);
 }
 
 TEST(EpochTest, GuardIsReentrantAndRetireWorksNested) {

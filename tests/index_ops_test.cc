@@ -60,12 +60,19 @@ using HashTableCase = Profile<HashTable<>, 0, 0, 1, 0>;
 using ShardedBTreeCase =
     Profile<ShardedStore<U64BTree<BTreeOptiQlPolicy<OptiQL>>>, 1, 1, 1, 1>;
 using ShardedArtCase = Profile<ShardedStore<ArtTree<ArtOlcPolicy>>, 0, 1, 1, 0>;
+// Range-routed store: identical capability surface to the hash-routed one
+// (the routing table is invisible to IndexOps consumers).
+using ShardedRangeBTreeCase =
+    Profile<ShardedStore<U64BTree<BTreeOptiQlPolicy<OptiQL>>,
+                         RangeShardRouter>,
+            1, 1, 1, 1>;
 
 using ConformanceCases =
     ::testing::Types<BTreeOlcCase, BTreeOptiQlCase, BTreeOptiQlNorCase,
                      BTreeOptiQlAorCase, BTreePthreadCase, BTreeMcsRwCase,
                      ArtOlcCase, ArtOptiQlCase, ArtCouplingCase,
-                     HashTableCase, ShardedBTreeCase, ShardedArtCase>;
+                     HashTableCase, ShardedBTreeCase, ShardedArtCase,
+                     ShardedRangeBTreeCase>;
 
 struct ProfileNames {
   template <class T>
@@ -82,6 +89,9 @@ struct ProfileNames {
     if (std::is_same_v<T, HashTableCase>) return "HashTable";
     if (std::is_same_v<T, ShardedBTreeCase>) return "ShardedBTreeOptiQl";
     if (std::is_same_v<T, ShardedArtCase>) return "ShardedArtOptLock";
+    if (std::is_same_v<T, ShardedRangeBTreeCase>) {
+      return "ShardedRangeBTreeOptiQl";
+    }
     return "Unknown";
   }
 };

@@ -36,6 +36,10 @@ bool EnableBug(const std::string& name) {
     bugs().mcsrw_upgrade_ignores_readers = true;
     return true;
   }
+  if (name == "reshard_copy_skips_gate") {
+    bugs().reshard_copy_skips_gate = true;
+    return true;
+  }
   return false;
 }
 
@@ -136,6 +140,11 @@ TEST(ModelCheckSeededBug, OptiQlObsoleteDroppedThreeThreadsIsCaught) {
 TEST(ModelCheckSeededBug, McsRwUpgradeIgnoresReadersIsCaught) {
   ExpectBugCaught("mcsrw_upgrade_2", "mcsrw_upgrade_ignores_readers",
                   "reader");
+}
+
+TEST(ModelCheckSeededBug, ReshardCopySkipsGateIsCaught) {
+  ExpectBugCaught("reshard_handover_2", "reshard_copy_skips_gate",
+                  "resurrected");
 }
 
 TEST(ModelCheckDeadlock, AbbaIsReportedWithSchedule) {

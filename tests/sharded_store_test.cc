@@ -27,8 +27,11 @@ namespace {
 using OptiQlTree = BTree<uint64_t, uint64_t, BTreeOptiQlPolicy<OptiQL>>;
 using CouplingTree = BTree<uint64_t, uint64_t, BTreeCouplingPolicy<McsRwLock>>;
 
-TEST(ShardedStoreTest, SingleThreadDifferentialAgainstMapOracle) {
-  ShardedStore<OptiQlTree> store(7);  // Odd count: catches modulo bugs.
+// Router-independent behaviour: the same randomized differential runs
+// against the hash router and the range router (conformance — a routing
+// table swap must be invisible to point ops and scans).
+template <class Store>
+void SingleThreadDifferential(Store& store) {
   std::map<uint64_t, uint64_t> oracle;
   Xoshiro256 rng(0xD1FF);
   std::vector<std::pair<uint64_t, uint64_t>> scanned;
@@ -54,7 +57,9 @@ TEST(ShardedStoreTest, SingleThreadDifferentialAgainstMapOracle) {
         uint64_t out = 0;
         const auto it = oracle.find(key);
         ASSERT_EQ(store.Lookup(key, out), it != oracle.end());
-        if (it != oracle.end()) ASSERT_EQ(out, it->second);
+        if (it != oracle.end()) {
+          ASSERT_EQ(out, it->second);
+        }
         break;
       }
       default: {
@@ -68,13 +73,44 @@ TEST(ShardedStoreTest, SingleThreadDifferentialAgainstMapOracle) {
           ++it;
         }
         // The scan stopped early only if the oracle ran out too.
-        if (scanned.size() < limit) ASSERT_EQ(it, oracle.end());
+        if (scanned.size() < limit) {
+          ASSERT_EQ(it, oracle.end());
+        }
         break;
       }
     }
   }
   ASSERT_EQ(store.Size(), oracle.size());
   store.CheckInvariants();
+}
+
+TEST(ShardedStoreTest, SingleThreadDifferentialAgainstMapOracle) {
+  ShardedStore<OptiQlTree> store(7);  // Odd count: catches modulo bugs.
+  SingleThreadDifferential(store);
+}
+
+TEST(ShardedStoreTest, RangeRouterSingleThreadDifferential) {
+  // Dense boundaries inside the op keyspace: scans and point ops cross
+  // span edges constantly.
+  ShardedStore<OptiQlTree, RangeShardRouter> store(
+      7, RangeShardRouter::EvenOver(4000, 7));
+  SingleThreadDifferential(store);
+}
+
+TEST(ShardedStoreTest, RangeRouterDefaultSpansCoverFullKeySpace) {
+  // No explicit splits: spans divide the u64 space evenly; dense small
+  // keys all land in span 0 but every key is routable.
+  ShardedStore<OptiQlTree, RangeShardRouter> store(4);
+  ASSERT_TRUE(store.Insert(0, 1));
+  ASSERT_TRUE(store.Insert(UINT64_MAX, 2));
+  ASSERT_TRUE(store.Insert(UINT64_MAX / 2, 3));
+  EXPECT_EQ(store.Size(), 3u);
+  uint64_t out = 0;
+  EXPECT_TRUE(store.Lookup(UINT64_MAX, out));
+  EXPECT_EQ(out, 2u);
+  EXPECT_EQ(store.ShardCount(), 4u);
+  // Keys spread across distinct spans land on distinct shards.
+  EXPECT_NE(store.ShardIndexOf(0), store.ShardIndexOf(UINT64_MAX));
 }
 
 TEST(ShardedStoreTest, ScanMergesAcrossShardBoundaries) {
@@ -225,7 +261,9 @@ TEST(ShardedStoreOptiQlTest, ConcurrentDisjointWritersDifferential) {
       const uint64_t key = i * kThreads + static_cast<uint64_t>(t);
       uint64_t out = 0;
       ASSERT_EQ(store.Lookup(key, out), i % 2 == 1) << key;
-      if (i % 2 == 1) ASSERT_EQ(out, key + 7);
+      if (i % 2 == 1) {
+        ASSERT_EQ(out, key + 7);
+      }
     }
   }
   store.CheckInvariants();

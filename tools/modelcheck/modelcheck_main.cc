@@ -57,6 +57,10 @@ bool ApplyBug(const std::string& name) {
     bugs().mcsrw_upgrade_ignores_readers = true;
     return true;
   }
+  if (name == "reshard_copy_skips_gate") {
+    bugs().reshard_copy_skips_gate = true;
+    return true;
+  }
   return false;
 }
 

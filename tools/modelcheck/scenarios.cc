@@ -478,6 +478,88 @@ class McsRwUpgradeScenario : public Scenario {
   std::optional<RwProbe> rw_;
 };
 
+// ShardedStore's elastic-reshard double-routing window (DESIGN.md §14)
+// distilled to two keys and presence bits. Thread 0 is the migration
+// copier: under the per-chunk gate it copies every key the source holds
+// into the target, then publishes the watermark ("span fully moved").
+// Thread 1 is a writer inside the window: it removes k0 (present before
+// the window opened) and inserts k1 (absent), each op double-applied to
+// source AND target under a shared gate hold — the store's protocol for
+// keys whose span is mid-migration. The spec is routed visibility once
+// both threads finish: reads go to the target iff the watermark says the
+// key moved, and at every interleaving the removed key must be
+// unreachable and the inserted key reachable. The seeded
+// reshard_copy_skips_gate bug lets the copier run ungated, so a remove
+// can land between its source read and target write and the stale copy
+// resurrects k0 — exactly the race the shared/exclusive gate exists to
+// close.
+class ReshardHandoverScenario : public Scenario {
+ public:
+  int num_threads() const override { return 2; }
+
+  void Reset() override {
+    gate_.emplace();
+    src0_.emplace(1);  // k0 present in the source before the window opens.
+    tgt0_.emplace(0);
+    src1_.emplace(0);  // k1 arrives through a window write.
+    tgt1_.emplace(0);
+    moved_.emplace(0);
+    Runtime::Current()->NameObject(&*gate_, "reshard.gate");
+    Runtime::Current()->NameObject(&*src0_, "reshard.src[k0]");
+    Runtime::Current()->NameObject(&*tgt0_, "reshard.tgt[k0]");
+    Runtime::Current()->NameObject(&*src1_, "reshard.src[k1]");
+    Runtime::Current()->NameObject(&*tgt1_, "reshard.tgt[k1]");
+    Runtime::Current()->NameObject(&*moved_, "reshard.watermark");
+  }
+
+  void Thread(int tid) override {
+    if (tid == 0) {
+      // Copier: one chunk covering the whole span, exclusive on the gate.
+      const bool gated = !bugs().reshard_copy_skips_gate;
+      if (gated) gate_->AcquireEx();
+      if (src0_->load(std::memory_order_acquire) != 0) {
+        tgt0_->store(1, std::memory_order_release);
+      }
+      if (src1_->load(std::memory_order_acquire) != 0) {
+        tgt1_->store(1, std::memory_order_release);
+      }
+      if (gated) gate_->ReleaseEx();
+      moved_->store(1, std::memory_order_release);
+      return;
+    }
+    // Window writer: each double-apply pairs source and target under a
+    // (shared) gate hold; with one writer the TTS lock models it exactly.
+    gate_->AcquireEx();
+    src0_->store(0, std::memory_order_release);  // remove k0: source...
+    tgt0_->store(0, std::memory_order_release);  // ...and mirror.
+    gate_->ReleaseEx();
+    gate_->AcquireEx();
+    src1_->store(1, std::memory_order_release);  // insert k1: source...
+    tgt1_->store(1, std::memory_order_release);  // ...and mirror.
+    gate_->ReleaseEx();
+  }
+
+  void Finale() override {
+    QuietScope quiet;
+    const bool moved = moved_->load(std::memory_order_relaxed) != 0;
+    const uint64_t vis0 = moved ? tgt0_->load(std::memory_order_relaxed)
+                                : src0_->load(std::memory_order_relaxed);
+    const uint64_t vis1 = moved ? tgt1_->load(std::memory_order_relaxed)
+                                : src1_->load(std::memory_order_relaxed);
+    OPTIQL_INVARIANT(vis0 == 0,
+                     "removed key resurrected across the reshard handover: "
+                     "a stale chunk copy re-inserted it into the target");
+    OPTIQL_INVARIANT(vis1 == 1,
+                     "inserted key unreachable after the reshard handover: "
+                     "the double-applied write was lost");
+    OPTIQL_INVARIANT(!gate_->IsLockedEx(), "chunk gate still held at end");
+  }
+
+ private:
+  std::optional<TtsLock> gate_;
+  std::optional<ModelAtomic<uint64_t>> src0_, tgt0_, src1_, tgt1_, moved_;
+};
+
 // Classic ABBA deadlock over two TTS locks. This scenario EXPECTS a
 // violation: it proves the spin-blocking semantics turn a lost-wakeup cycle
 // into a reported deadlock rather than a hang.
@@ -591,6 +673,11 @@ std::vector<ScenarioInfo> BuildRegistry() {
   add("mcsrw_upgrade_3",
       "MCS-RW: upgrade vs racing reader vs queued writer", 3, false,
       Make<McsRwUpgradeScenario>(3));
+
+  // Elastic-sharding handover window.
+  add("reshard_handover_2",
+      "reshard double-routing window: chunk copier vs double-apply writer",
+      2, false, Make<ReshardHandoverScenario>());
 
   // Negative control: the checker must DETECT this one.
   add("deadlock_demo_2", "ABBA deadlock over two TTS locks (expected hit)",
