@@ -207,9 +207,14 @@ struct RangeShardRouter {
 
   static RangeShardRouter EvenOver(uint64_t space_end, size_t shards) {
     RangeShardRouter router;
-    const uint64_t stride = shards > 1 ? space_end / shards : 0;
-    for (size_t i = 1; i < shards; ++i) {
-      router.splits.push_back(stride * i);
+    // space_end < shards cannot yield `shards` distinct non-zero
+    // boundaries (stride would be 0); fall back to the even-over-u64
+    // default instead of building a table that fails its span checks.
+    if (shards > 1 && space_end >= shards) {
+      const uint64_t stride = space_end / shards;
+      for (size_t i = 1; i < shards; ++i) {
+        router.splits.push_back(stride * i);
+      }
     }
     return router;
   }

@@ -396,13 +396,23 @@ class ShardedStore : public internal::ShardTxnTypes<Index>,
   // published AND the source's moved range is cleaned, so Size() is exact
   // again on return. Concurrent point ops, batches, and scans keep running
   // throughout (the storm tests hammer exactly this).
+  //
+  // PRECONDITION: the calling thread must NOT hold an EpochGuard — the
+  // internal Synchronize() grace periods would wait on the caller's own
+  // guard forever. Calls made under a guard return false instead of
+  // aborting. Also note Synchronize() waits for every open guard to close:
+  // a long-running transaction (which holds a guard for its lifetime)
+  // delays Split/Merge until it finishes — resharding never blocks the
+  // workload, but a stalled transaction blocks resharding.
 
   // Carves [split_key, span_end) out of the span containing split_key into
   // a freshly allocated shard. Returns false if split_key already is a
-  // span boundary (nothing to split) or the slot table is full.
+  // span boundary (nothing to split), the slot table is full, or the
+  // caller holds an EpochGuard.
   bool Split(uint64_t split_key)
     requires(kElastic && HasScanOp<Index>)
   {
+    if (EpochManager::Instance().GuardDepth() != 0) return false;
     std::lock_guard<std::mutex> admin(admin_mu_);
     std::vector<typename Table::Span> spans;
     uint64_t version = 0;
@@ -446,10 +456,12 @@ class ShardedStore : public internal::ShardTxnTypes<Index>,
 
   // Dissolves the span that BEGINS at boundary_key into its left
   // neighbor's shard and frees the dissolved shard's slot. Returns false
-  // if boundary_key is not an interior span boundary. Inverse of Split.
+  // if boundary_key is not an interior span boundary or the caller holds
+  // an EpochGuard. Inverse of Split.
   bool Merge(uint64_t boundary_key)
     requires(kElastic && HasScanOp<Index>)
   {
+    if (EpochManager::Instance().GuardDepth() != 0) return false;
     std::lock_guard<std::mutex> admin(admin_mu_);
     std::vector<typename Table::Span> spans;
     uint64_t version = 0;
@@ -898,7 +910,11 @@ class ShardedStore : public internal::ShardTxnTypes<Index>,
   // Caller-order-stable partition of a batch into `buckets` groups (bucket
   // b owns order[offsets[b] .. offsets[b+1])), each group preserving
   // program order — a stable counting sort over an arbitrary bucket
-  // functor.
+  // functor. The functor is evaluated exactly ONCE per key: routes depend
+  // on migration atomics (watermark/all_moved) that the copier advances
+  // concurrently, and a functor answering differently between a counting
+  // and a placement pass would break the counting-sort invariant (scattered
+  // results, out-of-bounds cursor writes).
   struct BatchPlan {
     std::vector<uint32_t> order;
     std::vector<uint32_t> offsets;
@@ -907,15 +923,17 @@ class ShardedStore : public internal::ShardTxnTypes<Index>,
     BatchPlan(size_t buckets, const uint64_t* keys, size_t n,
               BucketOf&& bucket_of)
         : order(n), offsets(buckets + 1, 0) {
+      std::vector<uint32_t> bucket(n);
       for (size_t i = 0; i < n; ++i) {
-        ++offsets[bucket_of(keys[i]) + 1];
+        bucket[i] = static_cast<uint32_t>(bucket_of(keys[i]));
+        ++offsets[bucket[i] + 1];
       }
       for (size_t b = 1; b < offsets.size(); ++b) {
         offsets[b] += offsets[b - 1];
       }
       std::vector<uint32_t> cursor(offsets.begin(), offsets.end() - 1);
       for (size_t i = 0; i < n; ++i) {
-        order[cursor[bucket_of(keys[i])]++] = static_cast<uint32_t>(i);
+        order[cursor[bucket[i]]++] = static_cast<uint32_t>(i);
       }
     }
   };

@@ -150,6 +150,8 @@ uint64_t EpochManager::MinActiveEpoch() const {
   return min_epoch;
 }
 
+uint32_t EpochManager::GuardDepth() { return LocalState().depth; }
+
 void EpochManager::Synchronize() {
   ThreadState& state = LocalState();
   // A guard held by this thread would pin MinActiveEpoch at (or below) the

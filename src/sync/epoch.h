@@ -91,6 +91,10 @@ class EpochManager {
   uint64_t CurrentEpoch() const {
     return global_epoch_.load(std::memory_order_acquire);
   }
+  // Guard nesting depth of the CALLING thread (0 = outside any guard).
+  // Lets callers precheck the Synchronize() no-guard-held precondition and
+  // fail gracefully instead of CHECK-aborting.
+  uint32_t GuardDepth();
   size_t RetiredCount() const;  // This thread's pending retirements.
   // Pending retirements in one bucket of this thread (tests).
   size_t RetiredCountInBucket(uint32_t tag) const;

@@ -189,6 +189,36 @@ TEST(RangeReshardTest, RejectsInvalidBoundaries) {
   EXPECT_EQ(store.ShardCount(), 2u);
 }
 
+TEST(RangeReshardTest, EvenOverDegenerateSpaceFallsBackToEvenU64) {
+  // Fewer distinct non-zero boundaries than shards (space_end < shards):
+  // EvenOver falls back to the even-over-u64 default instead of emitting
+  // stride-0 duplicate split points that crash the table constructor.
+  CountingStore store(8, RangeShardRouter::EvenOver(3, 8));
+  EXPECT_EQ(store.ShardCount(), 8u);
+  for (uint64_t k = 0; k < 100; ++k) ASSERT_TRUE(store.Insert(k, k * 2));
+  EXPECT_EQ(store.Size(), 100u);
+  uint64_t out = 0;
+  ASSERT_TRUE(store.Lookup(42, out));
+  EXPECT_EQ(out, 84u);
+}
+
+TEST(RangeReshardTest, SplitMergeUnderEpochGuardFailGracefully) {
+  CountingStore store(2, RangeShardRouter::EvenOver(2000, 2));
+  for (uint64_t k = 0; k < 2000; ++k) ASSERT_TRUE(store.Insert(k, k));
+  const uint64_t version = store.RoutingVersion();
+  {
+    // A caller already inside a guard (e.g. mid-transaction) must get a
+    // clean false, not the Synchronize() self-deadlock CHECK.
+    EpochGuard guard;
+    EXPECT_FALSE(store.Split(500));
+    EXPECT_FALSE(store.Merge(1000));
+  }
+  EXPECT_EQ(store.RoutingVersion(), version) << "rejections publish nothing";
+  EXPECT_EQ(store.ShardCount(), 2u);
+  ASSERT_TRUE(store.Split(500)) << "same call succeeds outside the guard";
+  EXPECT_EQ(store.ShardCount(), 3u);
+}
+
 TEST(RangeReshardTest, SplitOfSparseAndEmptySpansWorks) {
   CountingStore store(1, RangeShardRouter{});
   // Only three keys, huge gaps; split boundaries fall in empty territory.
@@ -235,7 +265,7 @@ void ReshardStorm(int workers, int ops_per_worker, int reshard_attempts) {
                 static_cast<uint64_t>(W) +
             static_cast<uint64_t>(w);
         const uint64_t value = rng.Next();
-        switch (rng.NextBounded(8)) {
+        switch (rng.NextBounded(10)) {
           case 0:
           case 1:
             if (store.Insert(key, value)) ex.emplace(key, value);
@@ -254,6 +284,48 @@ void ReshardStorm(int workers, int ops_per_worker, int reshard_attempts) {
             store.Scan(rng.NextBounded(key_space), 24, scanned);
             for (size_t j = 1; j < scanned.size(); ++j) {
               ASSERT_LT(scanned[j - 1].first, scanned[j].first);
+            }
+            break;
+          }
+          case 5: {
+            // Batched lookups: the batch is partitioned against a pinned
+            // table while the copier advances the watermark underneath —
+            // the regression surface for BatchPlan's one-evaluation-per-key
+            // contract. Stripes are disjoint, so own-stripe results are
+            // exact against the per-thread oracle.
+            uint64_t batch_keys[16];
+            uint64_t batch_values[16];
+            bool batch_found[16];
+            for (size_t j = 0; j < 16; ++j) {
+              batch_keys[j] =
+                  rng.NextBounded(key_space / static_cast<uint64_t>(W)) *
+                      static_cast<uint64_t>(W) +
+                  static_cast<uint64_t>(w);
+            }
+            store.LookupBatch(batch_keys, 16, batch_values, batch_found);
+            for (size_t j = 0; j < 16; ++j) {
+              const auto it = ex.find(batch_keys[j]);
+              ASSERT_EQ(batch_found[j], it != ex.end())
+                  << "batch lookup of key " << batch_keys[j];
+              if (batch_found[j]) ASSERT_EQ(batch_values[j], it->second);
+            }
+            break;
+          }
+          case 6: {
+            // Batched upserts: migrating-span keys overflow into the
+            // double-applying point path mid-window.
+            uint64_t batch_keys[8];
+            uint64_t batch_values[8];
+            for (size_t j = 0; j < 8; ++j) {
+              batch_keys[j] =
+                  rng.NextBounded(key_space / static_cast<uint64_t>(W)) *
+                      static_cast<uint64_t>(W) +
+                  static_cast<uint64_t>(w);
+              batch_values[j] = rng.Next();
+            }
+            store.UpsertBatch(batch_keys, batch_values, 8);
+            for (size_t j = 0; j < 8; ++j) {
+              ex[batch_keys[j]] = batch_values[j];
             }
             break;
           }
